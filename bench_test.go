@@ -1,0 +1,170 @@
+// Benchmarks regenerating every evaluation artifact of the paper, one
+// benchmark per table/figure, at test-friendly scale (use cmd/tmsim
+// -scale full for the EXPERIMENTS.md numbers). Wall-clock time measures
+// the simulator; the numbers that reproduce the paper are the reported
+// custom metrics, in simulated cycles and speedups.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/stamp"
+)
+
+func benchOptions() harness.Options {
+	opt := harness.DefaultOptions()
+	opt.Params.MemBytes = 1 << 24
+	opt.OTableRows = 1 << 14
+	return opt
+}
+
+// benchWorkload runs one (system, workload, threads) cell b.N times and
+// reports the simulated speedup against the sequential baseline.
+func benchWorkload(b *testing.B, kind harness.SystemKind, mk func() stamp.Workload, threads int) {
+	b.Helper()
+	opt := benchOptions()
+	seq := harness.Run(harness.Sequential, mk(), 1, opt)
+	if seq.Err != nil {
+		b.Fatal(seq.Err)
+	}
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = harness.Run(kind, mk(), threads, opt)
+	}
+	if last.Err != nil {
+		b.Fatal(last.Err)
+	}
+	b.ReportMetric(float64(last.Cycles), "simcycles")
+	b.ReportMetric(last.Speedup(seq.Cycles), "speedup")
+}
+
+// --- Figure 5: one bench per benchmark × key system (4 threads) ---
+
+func BenchmarkFigure5(b *testing.B) {
+	systems := []harness.SystemKind{
+		harness.UnboundedHTM, harness.UFOHybrid, harness.HyTM,
+		harness.PhTM, harness.USTMUFO, harness.TL2,
+	}
+	for _, f := range harness.Benchmarks(harness.ScaleSmall) {
+		for _, sys := range systems {
+			b.Run(fmt.Sprintf("%s/%s", f.Name, sys), func(b *testing.B) {
+				benchWorkload(b, sys, f.New, 4)
+			})
+		}
+	}
+}
+
+// --- Figure 6: abort-reason profile of the hybrids on vacation-high ---
+
+func BenchmarkFigure6AbortBreakdown(b *testing.B) {
+	for _, sys := range harness.Figure6Systems {
+		b.Run(string(sys), func(b *testing.B) {
+			opt := benchOptions()
+			var last harness.Result
+			for i := 0; i < b.N; i++ {
+				last = harness.Run(sys, stamp.VacationHigh(192, 24), 4, opt)
+			}
+			if last.Err != nil {
+				b.Fatal(last.Err)
+			}
+			b.ReportMetric(float64(last.Machine.HWAbortsByReason[machine.AbortOverflow]), "overflows")
+			b.ReportMetric(float64(last.Machine.HWAbortsByReason[machine.AbortUFOKill]), "ufokills")
+			b.ReportMetric(float64(last.Machine.HWAbortsByReason[machine.AbortNonTConflict]), "nonTconf")
+			b.ReportMetric(float64(last.Stats.HWCommits), "hwcommits")
+		})
+	}
+}
+
+// --- Figure 7: the failover-rate sweep at three points per system ---
+
+func BenchmarkFigure7Failover(b *testing.B) {
+	for _, sys := range harness.Figure7Systems {
+		for _, rate := range []int{0, 20, 100} {
+			b.Run(fmt.Sprintf("%s/rate%d", sys, rate), func(b *testing.B) {
+				benchWorkload(b, sys, func() stamp.Workload { return stamp.NewFailover(40, rate) }, 4)
+			})
+		}
+	}
+}
+
+// --- Figure 8: contention-policy sensitivity on genome ---
+
+func BenchmarkFigure8Policies(b *testing.B) {
+	for _, v := range harness.Figure8Variants() {
+		b.Run(v.Name, func(b *testing.B) {
+			opt := benchOptions()
+			v.Mutate(&opt)
+			seq := harness.Run(harness.Sequential, stamp.NewGenome(192), 1, opt)
+			var last harness.Result
+			for i := 0; i < b.N; i++ {
+				last = harness.Run(harness.UFOHybrid, stamp.NewGenome(192), 4, opt)
+			}
+			if last.Err != nil {
+				b.Fatal(last.Err)
+			}
+			b.ReportMetric(last.Speedup(seq.Cycles), "speedup")
+		})
+	}
+}
+
+// --- Primitive micro-benchmarks (Tables 1–3 surface) ---
+
+// BenchmarkTable1BTMTransaction measures the raw hardware-transaction
+// path (Table 1's begin/load/store/end sequence, zero instrumentation).
+func BenchmarkTable1BTMTransaction(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := harness.Run(harness.UnboundedHTM, stamp.NewFailover(50, 0), 1, opt)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// BenchmarkTable2UFOOps measures UFO bit manipulation throughput.
+func BenchmarkTable2UFOOps(b *testing.B) {
+	params := machine.DefaultParams(1)
+	params.MemBytes = 1 << 22
+	for i := 0; i < b.N; i++ {
+		m := machine.New(params)
+		m.Run([]func(*machine.Proc){func(p *machine.Proc) {
+			p.SetUFOEnabled(false)
+			for a := uint64(0); a < 1024; a += 64 {
+				p.SetUFO(a, 3)
+				p.ReadUFO(a)
+				p.SetUFO(a, 0)
+			}
+		}})
+	}
+}
+
+// BenchmarkTable3USTMBarriers measures the software-transaction path
+// (Table 3's begin/read-barrier/write-barrier/end sequence) with strong
+// atomicity enabled.
+func BenchmarkTable3USTMBarriers(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := harness.Run(harness.USTMUFO, stamp.NewFailover(50, 0), 1, opt)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// BenchmarkTable4MachineAccess measures the simulated memory system
+// itself under the Table 4 parameters.
+func BenchmarkTable4MachineAccess(b *testing.B) {
+	params := machine.DefaultParams(1)
+	params.MemBytes = 1 << 22
+	for i := 0; i < b.N; i++ {
+		m := machine.New(params)
+		m.Run([]func(*machine.Proc){func(p *machine.Proc) {
+			for a := uint64(0); a < 1<<16; a += 8 {
+				p.NTWrite(a, a)
+			}
+		}})
+	}
+}

@@ -1,0 +1,77 @@
+// Command tmprobe runs a single (workload, system, threads) cell — for
+// debugging and for scripting custom sweeps.
+//
+//	tmprobe -workload genome -system ufo-hybrid -threads 16 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/stamp"
+)
+
+func main() {
+	workload := flag.String("workload", "kmeans-high", "kmeans-high | kmeans-low | vacation-high | vacation-low | genome | ssca2 | intruder | labyrinth | failover")
+	system := flag.String("system", "ufo-hybrid", "TM system name")
+	threads := flag.Int("threads", 4, "simulated processors")
+	scaleName := flag.String("scale", "full", "small | full")
+	rate := flag.Int("rate", 0, "failover rate percent (failover workload)")
+	traceN := flag.Int("trace", 0, "dump the last N trace events after the run")
+	flag.Parse()
+
+	scale := harness.ScaleFull
+	if *scaleName == "small" {
+		scale = harness.ScaleSmall
+	}
+	opt := harness.DefaultOptions()
+
+	var mk func() stamp.Workload
+	if *workload == "failover" {
+		tasks := 60
+		if scale == harness.ScaleFull {
+			tasks = 200
+		}
+		mk = func() stamp.Workload { return stamp.NewFailover(tasks, *rate) }
+	} else {
+		all := append(harness.Benchmarks(scale), harness.ExtendedBenchmarks(scale)...)
+		for _, f := range all {
+			if f.Name == *workload {
+				mk = f.New
+			}
+		}
+		if mk == nil {
+			fmt.Fprintf(os.Stderr, "tmprobe: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+	}
+
+	start := time.Now()
+	seq := harness.Run(harness.Sequential, mk(), 1, opt)
+	opt.TraceLimit = *traceN
+	r := harness.Run(harness.SystemKind(*system), mk(), *threads, opt)
+	if r.Err != nil {
+		fmt.Fprintf(os.Stderr, "tmprobe: validation failed: %v\n", r.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %s, %d threads: %d simulated cycles, speedup %.2f (wall %v)\n",
+		r.Workload, r.System, r.Threads, r.Cycles, r.Speedup(seq.Cycles), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("stats: %v\n", &r.Stats)
+	fmt.Printf("hw aborts:")
+	for reason := 1; reason < machine.NumAbortReasons; reason++ {
+		if n := r.Machine.HWAbortsByReason[reason]; n > 0 {
+			fmt.Printf(" %s=%d", machine.AbortReason(reason), n)
+		}
+	}
+	fmt.Printf("\nnacks=%d ufoKills(true/false)=%d/%d stmOlder=%d htmOlder=%d\n",
+		r.Machine.Nacks, r.Machine.UFOKillsTrue, r.Machine.UFOKillsFalse,
+		r.Machine.ConflictSTMOlder, r.Machine.ConflictHTMOlder)
+	if r.Trace != nil {
+		fmt.Printf("\ntrace (last %d events):\n", *traceN)
+		r.Trace.Dump(os.Stdout)
+	}
+}

@@ -1,0 +1,97 @@
+// Command tmsim regenerates the paper's evaluation artifacts on the
+// simulated machine:
+//
+//	tmsim -experiment fig5   # Figure 5: speedup vs. thread count
+//	tmsim -experiment fig6   # Figure 6: HW abort-reason breakdown
+//	tmsim -experiment fig7   # Figure 7: software-failover microbenchmark
+//	tmsim -experiment fig8   # Figure 8: contention-policy sensitivity
+//	tmsim -experiment ablate # design-choice ablations (UFO mitigations, L1, otable, quantum)
+//	tmsim -experiment extended # extension workloads beyond the paper (ssca2, intruder, labyrinth)
+//	tmsim -experiment params # Table 4: simulation parameters
+//	tmsim -experiment all    # everything above
+//
+// -scale small runs quick versions; -scale full (default) runs the sizes
+// recorded in EXPERIMENTS.md. Runs are deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | ablate | extended | footprints | params | all")
+	scaleName := flag.String("scale", "full", "small | full")
+	seed := flag.Uint64("seed", 1, "machine RNG seed")
+	seeds := flag.Int("seeds", 0, "run fig5 across seeds 1..N and report mean/min/max")
+	csvPath := flag.String("csv", "", "also write the fig5 sweep as CSV to this file")
+	flag.Parse()
+
+	scale := harness.ScaleFull
+	switch *scaleName {
+	case "full":
+	case "small":
+		scale = harness.ScaleSmall
+	default:
+		fmt.Fprintf(os.Stderr, "tmsim: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	opt := harness.DefaultOptions()
+	opt.Params.Seed = *seed
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "params":
+			harness.PrintParams(os.Stdout, opt)
+		case "fig5":
+			if *seeds > 1 {
+				harness.PrintSeedStats(os.Stdout, harness.Figure5Seeds(opt, scale, *seeds))
+				break
+			}
+			data := harness.Figure5(opt, scale)
+			harness.PrintFigure5(os.Stdout, data, scale)
+			if *csvPath != "" {
+				f, err := os.Create(*csvPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
+					os.Exit(1)
+				}
+				if err := harness.WriteFigure5CSV(f, data, scale); err != nil {
+					fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+				fmt.Printf("  [csv written to %s]\n", *csvPath)
+			}
+		case "fig6":
+			harness.PrintFigure6(os.Stdout, harness.Figure6(opt, scale))
+		case "fig7":
+			harness.PrintFigure7(os.Stdout, harness.Figure7(opt, scale))
+		case "fig8":
+			harness.PrintFigure8(os.Stdout, harness.Figure8(opt, scale))
+		case "ablate":
+			harness.PrintAblations(os.Stdout, harness.Ablations(opt, scale))
+		case "extended":
+			harness.PrintFigure5(os.Stdout, harness.Extended(opt, scale), scale)
+		case "footprints":
+			harness.PrintFootprints(os.Stdout, harness.Footprints(opt, scale))
+		default:
+			fmt.Fprintf(os.Stderr, "tmsim: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("  [%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended", "footprints"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Using Hardware
+// Memory Protection to Build a High-Performance, Strongly-Atomic Hybrid
+// Transactional Memory" (Baugh, Neelakantam, Zilles — ISCA 2008).
+//
+// The paper's two hardware primitives — a best-effort hardware TM (BTM)
+// and user-mode fine-grained memory protection (UFO) — do not exist on
+// commodity hardware, so this module implements them inside a
+// deterministic execution-driven multiprocessor simulator and builds the
+// full TM landscape of the paper's evaluation on top: the UFO hybrid (the
+// contribution), the HyTM and PhTM hybrid baselines, the USTM software TM
+// with and without UFO-based strong atomicity, TL2, an idealized
+// unbounded HTM, and sequential/global-lock executors, exercised by
+// STAMP-style kmeans / vacation / genome workloads.
+//
+// Start with examples/quickstart, or regenerate the paper's evaluation
+// with cmd/tmsim. See DESIGN.md for the architecture and EXPERIMENTS.md
+// for measured-vs-paper results.
+package repro

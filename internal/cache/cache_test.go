@@ -1,0 +1,150 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	c := NewL1(32*1024, 64, 4)
+	if c.Sets() != 128 || c.Ways() != 4 {
+		t.Fatalf("geometry = %d sets × %d ways, want 128×4", c.Sets(), c.Ways())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewL1(0, 64, 4)
+}
+
+func TestHitAfterTouch(t *testing.T) {
+	c := NewL1(4096, 64, 2)
+	if hit, _, _ := c.Touch(7); hit {
+		t.Fatal("first touch must miss")
+	}
+	if hit, _, _ := c.Touch(7); !hit {
+		t.Fatal("second touch must hit")
+	}
+	if !c.Contains(7) || c.Contains(8) {
+		t.Fatal("Contains wrong")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way cache, 2 sets. Lines 0,2,4 map to set 0.
+	c := NewL1(4*64, 64, 2)
+	c.Touch(0)
+	c.Touch(2)
+	c.Touch(0) // line 0 is now MRU; line 2 is LRU
+	_, victim, evicted := c.Touch(4)
+	if !evicted || victim != 2 {
+		t.Fatalf("evicted=%v victim=%d, want eviction of line 2", evicted, victim)
+	}
+	if c.Contains(2) {
+		t.Fatal("victim still resident")
+	}
+	if !c.Contains(0) || !c.Contains(4) {
+		t.Fatal("survivors missing")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := NewL1(4096, 64, 4)
+	c.Touch(3)
+	c.Invalidate(3)
+	if c.Contains(3) {
+		t.Fatal("invalidate failed")
+	}
+	c.Invalidate(99) // absent line: no-op
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := NewL1(4096, 64, 4)
+	for i := uint64(0); i < 30; i++ {
+		c.Touch(i)
+	}
+	c.InvalidateAll()
+	for i := uint64(0); i < 30; i++ {
+		if c.Contains(i) {
+			t.Fatalf("line %d survived InvalidateAll", i)
+		}
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	// Property: a cache never holds more than sets*ways lines.
+	if err := quick.Check(func(seed uint64) bool {
+		c := NewL1(8*64, 64, 2) // 8 lines total
+		for i := 0; i < 100; i++ {
+			seed = seed*6364136223846793005 + 1
+			c.Touch(seed % 64)
+		}
+		count := 0
+		for l := uint64(0); l < 64; l++ {
+			if c.Contains(l) {
+				count++
+			}
+		}
+		return count <= 8
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetConflictsEvenWhenCacheNotFull(t *testing.T) {
+	// 4 sets × 2 ways. Lines 0,4,8 all map to set 0: the third must evict
+	// even though the cache holds only 2 of 8 possible lines.
+	c := NewL1(8*64, 64, 2)
+	c.Touch(0)
+	c.Touch(4)
+	_, _, evicted := c.Touch(8)
+	if !evicted {
+		t.Fatal("expected set-conflict eviction")
+	}
+}
+
+func TestDirectorySharers(t *testing.T) {
+	d := NewDirectory()
+	d.Add(5, 0)
+	d.Add(5, 2)
+	d.Add(5, 3)
+	if !d.HeldBy(5, 0) || d.HeldBy(5, 1) {
+		t.Fatal("HeldBy wrong")
+	}
+	others := d.Others(5, 2)
+	if len(others) != 2 || others[0] != 0 || others[1] != 3 {
+		t.Fatalf("Others = %v, want [0 3]", others)
+	}
+	d.Remove(5, 0)
+	d.Remove(5, 2)
+	d.Remove(5, 3)
+	if d.Sharers(5) != 0 {
+		t.Fatal("sharers not empty after removals")
+	}
+	if _, ok := d.sharers[5]; ok {
+		t.Fatal("empty entry not garbage-collected")
+	}
+}
+
+func TestDirectoryRemoveAbsent(t *testing.T) {
+	d := NewDirectory()
+	d.Remove(9, 1) // must not panic
+	if d.Sharers(9) != 0 {
+		t.Fatal("phantom sharer")
+	}
+}
+
+func TestDirectoryOthersEmpty(t *testing.T) {
+	d := NewDirectory()
+	d.Add(1, 4)
+	if got := d.Others(1, 4); got != nil {
+		t.Fatalf("Others = %v, want nil", got)
+	}
+}

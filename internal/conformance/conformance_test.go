@@ -1,0 +1,394 @@
+// Package conformance runs identical transactional workloads across every
+// TM system in the repository and checks that they all preserve the same
+// invariants — the property that lets the harness compare them fairly.
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hytm"
+	"repro/internal/machine"
+	"repro/internal/phtm"
+	"repro/internal/seq"
+	"repro/internal/stamp"
+	"repro/internal/tl2"
+	"repro/internal/tm"
+	"repro/internal/unbounded"
+	"repro/internal/ustm"
+)
+
+// makeSystem builds each named TM system over a fresh machine.
+func makeSystem(name string, m *machine.Machine) tm.System {
+	cfg := ustm.DefaultConfig()
+	cfg.OTableRows = 1 << 12
+	switch name {
+	case "ufo-hybrid":
+		return core.New(m, cfg, core.DefaultPolicy())
+	case "hytm":
+		return hytm.New(m, cfg)
+	case "phtm":
+		return phtm.New(m, cfg)
+	case "ustm+ufo":
+		return ustm.New(m, cfg)
+	case "ustm":
+		cfg.StrongAtomicity = false
+		return ustm.New(m, cfg)
+	case "tl2":
+		return tl2.New(m, tl2.DefaultConfig())
+	case "unbounded-htm":
+		return unbounded.New(m)
+	case "global-lock":
+		return seq.New(m, seq.GlobalLock)
+	}
+	panic("unknown system " + name)
+}
+
+// concurrentSystems are the systems meaningful with >1 processor.
+var concurrentSystems = []string{
+	"ufo-hybrid", "hytm", "phtm", "ustm+ufo", "ustm", "tl2",
+	"unbounded-htm", "global-lock",
+}
+
+func newMachine(procs int, quantum uint64) *machine.Machine {
+	p := machine.DefaultParams(procs)
+	p.MemBytes = 1 << 22
+	p.Quantum = quantum
+	p.MaxSteps = 30_000_000
+	return machine.New(p)
+}
+
+func TestCounterInvariantAllSystems(t *testing.T) {
+	for _, name := range concurrentSystems {
+		for _, procs := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/p%d", name, procs), func(t *testing.T) {
+				m := newMachine(procs, 0)
+				sys := makeSystem(name, m)
+				const perThread = 30
+				var ws []func(*machine.Proc)
+				for i := 0; i < procs; i++ {
+					ex := sys.Exec(m.Proc(i))
+					ws = append(ws, func(p *machine.Proc) {
+						for n := 0; n < perThread; n++ {
+							ex.Atomic(func(tx tm.Tx) {
+								tx.Store(0, tx.Load(0)+1)
+							})
+							p.Elapse(uint64(10 + p.Rand().Intn(200)))
+						}
+					})
+				}
+				m.Run(ws)
+				want := uint64(procs * perThread)
+				if got := m.Mem.Read64(0); got != want {
+					t.Fatalf("counter = %d, want %d", got, want)
+				}
+				st := sys.Stats()
+				if st.Commits() != want {
+					t.Fatalf("commits = %d, want %d", st.Commits(), want)
+				}
+			})
+		}
+	}
+}
+
+func TestBankTransferInvariantAllSystems(t *testing.T) {
+	// N accounts, random transfers; the total balance is conserved.
+	const accounts = 16
+	const initial = 1000
+	for _, name := range concurrentSystems {
+		t.Run(name, func(t *testing.T) {
+			m := newMachine(4, 0)
+			sys := makeSystem(name, m)
+			base := m.Mem.Sbrk(accounts * 64)
+			for i := uint64(0); i < accounts; i++ {
+				m.Mem.Write64(base+i*64, initial)
+			}
+			var ws []func(*machine.Proc)
+			for i := 0; i < 4; i++ {
+				ex := sys.Exec(m.Proc(i))
+				ws = append(ws, func(p *machine.Proc) {
+					r := p.Rand()
+					for n := 0; n < 25; n++ {
+						from := base + uint64(r.Intn(accounts))*64
+						to := base + uint64(r.Intn(accounts))*64
+						amt := uint64(r.Intn(50))
+						ex.Atomic(func(tx tm.Tx) {
+							f := tx.Load(from)
+							if f < amt {
+								return
+							}
+							tx.Store(from, f-amt)
+							tx.Store(to, tx.Load(to)+amt)
+						})
+						p.Elapse(uint64(20 + r.Intn(100)))
+					}
+				})
+			}
+			m.Run(ws)
+			var total uint64
+			for i := uint64(0); i < accounts; i++ {
+				total += m.Mem.Read64(base + i*64)
+			}
+			if total != accounts*initial {
+				t.Fatalf("total balance = %d, want %d", total, accounts*initial)
+			}
+		})
+	}
+}
+
+func TestLargeTransactionsAllSystems(t *testing.T) {
+	// Transactions that overflow the (shrunken) L1 force the hybrids to
+	// software; everyone must still get the answer right.
+	for _, name := range concurrentSystems {
+		t.Run(name, func(t *testing.T) {
+			params := machine.DefaultParams(2)
+			params.MemBytes = 1 << 22
+			params.Quantum = 0
+			params.L1Bytes = 16 * 64
+			params.L1Ways = 2
+			params.MaxSteps = 30_000_000
+			m := machine.New(params)
+			sys := makeSystem(name, m)
+			base := m.Mem.Sbrk(64 * 64)
+			var ws []func(*machine.Proc)
+			for i := 0; i < 2; i++ {
+				ex := sys.Exec(m.Proc(i))
+				ws = append(ws, func(p *machine.Proc) {
+					for n := 0; n < 3; n++ {
+						ex.Atomic(func(tx tm.Tx) {
+							// Touch 48 lines: far beyond the 16-line L1.
+							for j := uint64(0); j < 48; j++ {
+								tx.Store(base+j*64, tx.Load(base+j*64)+1)
+							}
+						})
+					}
+				})
+			}
+			m.Run(ws)
+			for j := uint64(0); j < 48; j++ {
+				if got := m.Mem.Read64(base + j*64); got != 6 {
+					t.Fatalf("word %d = %d, want 6", j, got)
+				}
+			}
+		})
+	}
+}
+
+func TestTimerInterruptsDoNotBreakInvariants(t *testing.T) {
+	for _, name := range []string{"ufo-hybrid", "unbounded-htm", "phtm", "hytm"} {
+		t.Run(name, func(t *testing.T) {
+			m := newMachine(2, 3000) // aggressive quantum: many interrupts
+			sys := makeSystem(name, m)
+			var ws []func(*machine.Proc)
+			for i := 0; i < 2; i++ {
+				ex := sys.Exec(m.Proc(i))
+				ws = append(ws, func(p *machine.Proc) {
+					for n := 0; n < 20; n++ {
+						ex.Atomic(func(tx tm.Tx) {
+							tx.Store(0, tx.Load(0)+1)
+							p.Elapse(500) // long enough to straddle quanta
+						})
+					}
+				})
+			}
+			m.Run(ws)
+			if got := m.Mem.Read64(0); got != 40 {
+				t.Fatalf("counter = %d, want 40", got)
+			}
+			if m.Count.HWAbortsByReason[machine.AbortInterrupt] == 0 {
+				t.Fatal("test expected some interrupt aborts (raise tx duration?)")
+			}
+		})
+	}
+}
+
+func TestDeterministicCyclesAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		m := newMachine(4, 0)
+		sys := makeSystem("ufo-hybrid", m)
+		var ws []func(*machine.Proc)
+		for i := 0; i < 4; i++ {
+			ex := sys.Exec(m.Proc(i))
+			ws = append(ws, func(p *machine.Proc) {
+				r := p.Rand()
+				for n := 0; n < 20; n++ {
+					ex.Atomic(func(tx tm.Tx) {
+						a := uint64(r.Intn(8)) * 64
+						tx.Store(a, tx.Load(a)+1)
+					})
+					p.Elapse(uint64(r.Intn(50)))
+				}
+			})
+		}
+		m.Run(ws)
+		return m.Cycles()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("cycles differ across identical runs: %d vs %d", a, b)
+	}
+}
+
+func TestSequentialBaseline(t *testing.T) {
+	m := newMachine(1, 0)
+	sys := seq.New(m, seq.Sequential)
+	ex := sys.Exec(m.Proc(0))
+	m.Run([]func(*machine.Proc){func(p *machine.Proc) {
+		for n := 0; n < 100; n++ {
+			ex.Atomic(func(tx tm.Tx) {
+				tx.Store(0, tx.Load(0)+1)
+			})
+		}
+	}})
+	if m.Mem.Read64(0) != 100 {
+		t.Fatal("sequential baseline wrong")
+	}
+	if sys.Name() != "sequential" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestOnCommitRunsExactlyOnceAllSystems(t *testing.T) {
+	// A transaction that aborts its first attempt and registers a
+	// deferred side effect on every attempt: the effect must run exactly
+	// once per Atomic, only for the committed attempt.
+	for _, name := range concurrentSystems {
+		t.Run(name, func(t *testing.T) {
+			m := newMachine(1, 0)
+			sys := makeSystem(name, m)
+			ex := sys.Exec(m.Proc(0))
+			effects := 0
+			m.Run([]func(*machine.Proc){func(p *machine.Proc) {
+				for n := 0; n < 10; n++ {
+					aborted := false
+					ex.Atomic(func(tx tm.Tx) {
+						tx.OnCommit(func() { effects++ })
+						tx.Store(0, tx.Load(0)+1)
+						if !aborted {
+							aborted = true
+							tx.Abort()
+						}
+					})
+				}
+			}})
+			if effects != 10 {
+				t.Fatalf("deferred effects ran %d times, want 10", effects)
+			}
+			// The global-lock and sequential baselines cannot roll back an
+			// explicit abort (documented limitation), so the counter check
+			// applies only to real TMs.
+			if name != "global-lock" {
+				if got := m.Mem.Read64(0); got != 10 {
+					t.Fatalf("counter = %d, want 10", got)
+				}
+			}
+		})
+	}
+}
+
+func TestOnCommitSeesCommittedState(t *testing.T) {
+	m := newMachine(1, 0)
+	sys := makeSystem("ufo-hybrid", m)
+	ex := sys.Exec(m.Proc(0))
+	var observed uint64
+	m.Run([]func(*machine.Proc){func(p *machine.Proc) {
+		ex.Atomic(func(tx tm.Tx) {
+			tx.Store(0, 42)
+			tx.OnCommit(func() { observed = m.Mem.Read64(0) })
+		})
+	}})
+	if observed != 42 {
+		t.Fatalf("deferred effect saw %d, want the committed 42", observed)
+	}
+}
+
+func TestNestedTransactionsAllSystems(t *testing.T) {
+	// An outer transaction commits its own write; a nested transaction
+	// writes elsewhere and conditionally aborts. Systems with partial
+	// abort (the STMs) keep the outer effects; hardware systems flatten —
+	// the hybrid then fails the whole transaction over to software, where
+	// partial abort works. Either way the final state is identical.
+	for _, name := range concurrentSystems {
+		switch name {
+		case "global-lock":
+			continue // the no-rollback baseline cannot abort at all
+		case "unbounded-htm":
+			// A pure HTM flattens nesting with no software to fall back
+			// to: a deterministic inner abort re-executes forever. This is
+			// precisely the extensibility gap the paper's hybrid approach
+			// closes, so the exclusion is the point.
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			m := newMachine(1, 0)
+			sys := makeSystem(name, m)
+			ex := sys.Exec(m.Proc(0))
+			var innerCommitted, innerAborted bool
+			m.Run([]func(*machine.Proc){func(p *machine.Proc) {
+				ex.Atomic(func(tx tm.Tx) {
+					tx.Store(0, 1)
+					innerCommitted = tx.Nested(func() {
+						tx.Store(64, 2) // kept
+					})
+					innerAborted = !tx.Nested(func() {
+						tx.Store(128, 3) // rolled back
+						tx.Abort()
+					})
+					tx.Store(192, tx.Load(128)+10) // must see 0, not 3
+				})
+			}})
+			if !innerCommitted {
+				t.Fatal("clean nest did not commit")
+			}
+			if !innerAborted {
+				// Flattening systems never return false: the inner abort
+				// kills the whole transaction, which re-executes and, under
+				// the hybrids, lands in the STM where the nest aborts
+				// properly. Pure HTMs would retry forever on a
+				// deterministic inner abort; the unbounded HTM converts it
+				// to a full abort and the body's second run takes the same
+				// path, so exclude it below.
+				t.Fatal("aborting nest reported committed")
+			}
+			if m.Mem.Read64(0) != 1 || m.Mem.Read64(64) != 2 {
+				t.Fatal("outer/nested-committed writes lost")
+			}
+			if m.Mem.Read64(128) != 0 {
+				t.Fatalf("aborted nest leaked: %d", m.Mem.Read64(128))
+			}
+			if m.Mem.Read64(192) != 10 {
+				t.Fatalf("post-nest read saw aborted state: %d", m.Mem.Read64(192))
+			}
+		})
+	}
+}
+
+func TestExtendedWorkloadsAcrossKeySystems(t *testing.T) {
+	// The extension workloads must hold their invariants on the hybrid,
+	// a pure STM, and the lock baseline (the stamp package covers more).
+	mk := map[string]func() stamp.Workload{
+		"ssca2":     func() stamp.Workload { return stamp.NewSSCA2(48, 250) },
+		"intruder":  func() stamp.Workload { return stamp.NewIntruder(18, 3) },
+		"labyrinth": func() stamp.Workload { return stamp.NewLabyrinth(20, 20, 3) },
+	}
+	for wlName, factory := range mk {
+		for _, sysName := range []string{"ufo-hybrid", "tl2", "global-lock"} {
+			t.Run(wlName+"/"+sysName, func(t *testing.T) {
+				m := newMachine(3, 0)
+				sys := makeSystem(sysName, m)
+				wl := factory()
+				wl.Init(m, 3)
+				bodies := make([]func(*machine.Proc), 3)
+				for i := 0; i < 3; i++ {
+					ex := sys.Exec(m.Proc(i))
+					tid := i
+					bodies[i] = func(*machine.Proc) { wl.Thread(tid, ex) }
+				}
+				m.Run(bodies)
+				if err := wl.Validate(m); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+)
+
+// AblationRow is one configuration point in an ablation sweep.
+type AblationRow struct {
+	Study     string
+	Config    string
+	Workload  string
+	SeqCycles uint64
+	Result    Result
+}
+
+// AblationUFOMitigations evaluates the paper's two proposed fixes for
+// false UFO/BTM conflicts (Section 4.3) — owner-state bit installation
+// and lazy bit clearing — against the default eager protocol and the
+// true-conflict-only limit study, on the workload with the heaviest
+// STM/HTM interaction.
+func AblationUFOMitigations(opt Options, scale Scale) []AblationRow {
+	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
+	f := benchmarkByName(scale, "vacation-high")
+	seq := mustOK(SeqBaseline(f, opt)).Cycles
+	configs := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"eager (default)", func(*Options) {}},
+		{"owner-state install", func(o *Options) { o.Params.OwnerStateUFO = true }},
+		{"lazy clear", func(o *Options) { o.Params.LazyUFOClear = true }},
+		{"both mitigations", func(o *Options) {
+			o.Params.OwnerStateUFO = true
+			o.Params.LazyUFOClear = true
+		}},
+		{"true-conflict limit", func(o *Options) { o.Params.TrueConflictUFOKills = true }},
+	}
+	var out []AblationRow
+	for _, c := range configs {
+		o := opt
+		c.mutate(&o)
+		out = append(out, AblationRow{
+			Study: "ufo-mitigations", Config: c.name, Workload: f.Name,
+			SeqCycles: seq,
+			Result:    mustOK(Run(UFOHybrid, f.New(), threads, o)),
+		})
+	}
+	return out
+}
+
+// AblationL1Size sweeps the transactional capacity: smaller L1s overflow
+// more transactions to software, quantifying how much of the hybrid's
+// performance rides on hardware capacity (the DESIGN.md ablation for the
+// bounded-HTM design choice).
+func AblationL1Size(opt Options, scale Scale) []AblationRow {
+	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
+	f := benchmarkByName(scale, "vacation-high")
+	seq := mustOK(SeqBaseline(f, opt)).Cycles
+	var out []AblationRow
+	for _, kb := range []int{4, 8, 16, 32, 64} {
+		o := opt
+		o.Params.L1Bytes = kb * 1024
+		out = append(out, AblationRow{
+			Study: "l1-size", Config: fmt.Sprintf("%d KB", kb), Workload: f.Name,
+			SeqCycles: seq,
+			Result:    mustOK(Run(UFOHybrid, f.New(), threads, o)),
+		})
+	}
+	return out
+}
+
+// AblationOTableSize sweeps the ownership-table row count: small tables
+// alias unrelated lines to the same row, manufacturing conflicts — the
+// reason the paper sizes otables at "tens of thousands" of entries.
+func AblationOTableSize(opt Options, scale Scale) []AblationRow {
+	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
+	f := benchmarkByName(scale, "vacation-low")
+	seq := mustOK(SeqBaseline(f, opt)).Cycles
+	var out []AblationRow
+	for _, rows := range []int{1 << 6, 1 << 10, 1 << 16} {
+		o := opt
+		o.OTableRows = rows
+		out = append(out, AblationRow{
+			Study: "otable-size", Config: fmt.Sprintf("%d rows", rows), Workload: f.Name,
+			SeqCycles: seq,
+			Result:    mustOK(Run(USTMUFO, f.New(), threads, o)),
+		})
+	}
+	return out
+}
+
+// AblationQuantum sweeps the scheduling quantum: short quanta interrupt
+// (and so abort) more hardware transactions, which the abort handler must
+// absorb as recoverable retries.
+func AblationQuantum(opt Options, scale Scale) []AblationRow {
+	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
+	f := benchmarkByName(scale, "kmeans-low")
+	seq := mustOK(SeqBaseline(f, opt)).Cycles
+	var out []AblationRow
+	for _, q := range []uint64{5_000, 50_000, 200_000, 2_000_000} {
+		o := opt
+		o.Params.Quantum = q
+		out = append(out, AblationRow{
+			Study: "quantum", Config: fmt.Sprintf("%d cycles", q), Workload: f.Name,
+			SeqCycles: seq,
+			Result:    mustOK(Run(UFOHybrid, f.New(), threads, o)),
+		})
+	}
+	return out
+}
+
+// Ablations runs every ablation study.
+func Ablations(opt Options, scale Scale) []AblationRow {
+	var out []AblationRow
+	out = append(out, AblationUFOMitigations(opt, scale)...)
+	out = append(out, AblationL1Size(opt, scale)...)
+	out = append(out, AblationOTableSize(opt, scale)...)
+	out = append(out, AblationQuantum(opt, scale)...)
+	return out
+}
+
+// PrintAblations renders the studies.
+func PrintAblations(w io.Writer, rows []AblationRow) {
+	study := ""
+	for _, r := range rows {
+		if r.Study != study {
+			study = r.Study
+			fmt.Fprintf(w, "\nAblation — %s (%s)\n", study, r.Workload)
+			fmt.Fprintf(w, "%-22s %8s %10s %10s %10s %10s\n",
+				"config", "speedup", "failovers", "overflows", "ufoKills", "interrupts")
+		}
+		fmt.Fprintf(w, "%-22s %8.2f %10d %10d %10d %10d\n",
+			r.Config, r.Result.Speedup(r.SeqCycles),
+			r.Result.Stats.Failovers,
+			r.Result.Machine.HWAbortsByReason[machine.AbortOverflow],
+			r.Result.Machine.UFOKillsTrue+r.Result.Machine.UFOKillsFalse,
+			r.Result.Machine.HWAbortsByReason[machine.AbortInterrupt])
+	}
+}
+
+// benchmarkByName returns the named workload factory at the given scale.
+func benchmarkByName(scale Scale, name string) WorkloadFactory {
+	for _, f := range Benchmarks(scale) {
+		if f.Name == name {
+			return f
+		}
+	}
+	panic("harness: unknown benchmark " + name)
+}
+
+// FootprintRow is one workload's transaction-footprint profile on the
+// UFO hybrid.
+type FootprintRow struct {
+	Workload string
+	Result   Result
+}
+
+// Footprints profiles committed-transaction footprints per benchmark —
+// the data behind the paper's observation that "a significant majority
+// of the dynamic transactions ... execute completely in BTM".
+func Footprints(opt Options, scale Scale) []FootprintRow {
+	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
+	var out []FootprintRow
+	for _, f := range append(Benchmarks(scale), ExtendedBenchmarks(scale)...) {
+		out = append(out, FootprintRow{
+			Workload: f.Name,
+			Result:   mustOK(Run(UFOHybrid, f.New(), threads, opt)),
+		})
+	}
+	return out
+}
+
+// PrintFootprints renders the profile.
+func PrintFootprints(w io.Writer, rows []FootprintRow) {
+	fmt.Fprintf(w, "\nTransaction footprints on the UFO hybrid (distinct lines per committed tx)\n")
+	fmt.Fprintf(w, "%-14s %9s %9s %8s %8s %8s  %s\n",
+		"workload", "hwCommit", "swCommit", "hwMean", "hwMax", "≤64ln", "swHist")
+	for _, r := range rows {
+		hw := &r.Result.Machine.HWFootprint
+		sw := &r.Result.Machine.SWFootprint
+		fmt.Fprintf(w, "%-14s %9d %9d %8.1f %8d %7.0f%%  %s\n",
+			r.Workload, hw.Count, sw.Count, hw.Mean(), hw.Max,
+			hw.FracAtMost(64)*100, sw.String())
+	}
+}

@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/stamp"
+)
+
+// These tests pin the paper's qualitative claims (the "shapes" of
+// Figures 5–8) at test scale, so a change that silently breaks the
+// reproduction fails loudly. Thresholds are deliberately loose: they
+// encode who-beats-whom and rough factors, not exact numbers.
+
+func claimsOptions() Options {
+	opt := DefaultOptions()
+	opt.Params.MemBytes = 1 << 24
+	opt.OTableRows = 1 << 13
+	return opt
+}
+
+func speedupOf(t *testing.T, kind SystemKind, f WorkloadFactory, threads int, opt Options) float64 {
+	t.Helper()
+	seq := Run(Sequential, f.New(), 1, opt)
+	if seq.Err != nil {
+		t.Fatal(seq.Err)
+	}
+	r := Run(kind, f.New(), threads, opt)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	return r.Speedup(seq.Cycles)
+}
+
+func benchmarkNamed(t *testing.T, name string) WorkloadFactory {
+	t.Helper()
+	for _, f := range Benchmarks(ScaleSmall) {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no benchmark %q", name)
+	return WorkloadFactory{}
+}
+
+// Claim (§5.2): on kmeans, the UFO hybrid performs within a whisker of
+// the unbounded HTM ("less than a 1% difference").
+func TestClaimHybridMatchesUnboundedOnKMeans(t *testing.T) {
+	opt := claimsOptions()
+	for _, name := range []string{"kmeans-high", "kmeans-low"} {
+		f := benchmarkNamed(t, name)
+		hy := speedupOf(t, UFOHybrid, f, 4, opt)
+		un := speedupOf(t, UnboundedHTM, f, 4, opt)
+		if hy < un*0.97 {
+			t.Errorf("%s: hybrid %.2f vs unbounded %.2f — gap exceeds 3%%", name, hy, un)
+		}
+	}
+}
+
+// Claim (§5.2): HyTM's barriers cost it 10–20% on kmeans-high and it
+// never beats the UFO hybrid on any benchmark.
+func TestClaimHyTMLagsHybrid(t *testing.T) {
+	opt := claimsOptions()
+	for _, f := range Benchmarks(ScaleSmall) {
+		hy := speedupOf(t, UFOHybrid, f, 4, opt)
+		ht := speedupOf(t, HyTM, f, 4, opt)
+		if ht > hy*1.02 {
+			t.Errorf("%s: HyTM %.2f beats hybrid %.2f", f.Name, ht, hy)
+		}
+	}
+	f := benchmarkNamed(t, "kmeans-high")
+	hy := speedupOf(t, UFOHybrid, f, 4, opt)
+	ht := speedupOf(t, HyTM, f, 4, opt)
+	if ht > hy*0.95 {
+		t.Errorf("kmeans-high: HyTM %.2f should lag hybrid %.2f by ≥5%%", ht, hy)
+	}
+}
+
+// Claim (§5.2): the STMs run far below the hardware-based systems at
+// every thread count (their single-thread overhead alone is ~2–3×).
+func TestClaimSTMsWellBelowHTM(t *testing.T) {
+	opt := claimsOptions()
+	f := benchmarkNamed(t, "vacation-low")
+	un := speedupOf(t, UnboundedHTM, f, 4, opt)
+	for _, stm := range []SystemKind{USTM, USTMUFO, TL2} {
+		s := speedupOf(t, stm, f, 4, opt)
+		if s > un*0.7 {
+			t.Errorf("%s %.2f too close to unbounded %.2f on vacation-low", stm, s, un)
+		}
+	}
+}
+
+// Claim (§5.2/Figure 5): making USTM strongly atomic via UFO adds little
+// overhead to the baseline USTM.
+func TestClaimStrongAtomicityNearlyFree(t *testing.T) {
+	opt := claimsOptions()
+	for _, name := range []string{"kmeans-low", "vacation-low", "genome"} {
+		f := benchmarkNamed(t, name)
+		weak := speedupOf(t, USTM, f, 4, opt)
+		strong := speedupOf(t, USTMUFO, f, 4, opt)
+		if strong < weak*0.80 {
+			t.Errorf("%s: strong atomicity cost too high: %.2f vs %.2f", name, strong, weak)
+		}
+	}
+}
+
+// Claim (Figure 6): on vacation, HyTM suffers notably more set overflows
+// than the UFO hybrid (otable rows compete for L1 sets), plus
+// non-transactional conflicts on otable rows; the hybrid's extra aborts
+// are UFO-bit-set kills; PhTM generates explicit (phase) aborts.
+func TestClaimFigure6AbortSignatures(t *testing.T) {
+	opt := claimsOptions()
+	// Shrink the L1 so vacation's footprints overflow at test scale,
+	// producing the failovers whose interactions Figure 6 reports.
+	opt.Params.L1Bytes = 8 * 1024
+	opt.Params.L1Ways = 2
+	f := benchmarkNamed(t, "vacation-high")
+	hy := Run(UFOHybrid, f.New(), 4, opt)
+	ht := Run(HyTM, f.New(), 4, opt)
+	ph := Run(PhTM, f.New(), 4, opt)
+	for _, r := range []Result{hy, ht, ph} {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if ht.Machine.HWAbortsByReason[machine.AbortOverflow] <= hy.Machine.HWAbortsByReason[machine.AbortOverflow] {
+		t.Errorf("HyTM overflows (%d) not above hybrid's (%d)",
+			ht.Machine.HWAbortsByReason[machine.AbortOverflow],
+			hy.Machine.HWAbortsByReason[machine.AbortOverflow])
+	}
+	if ht.Machine.HWAbortsByReason[machine.AbortNonTConflict] == 0 {
+		t.Error("HyTM shows no nonT conflicts on otable rows")
+	}
+	if hy.Machine.HWAbortsByReason[machine.AbortUFOKill] == 0 {
+		t.Error("hybrid shows no UFO-bit-set kills")
+	}
+	if ph.Machine.HWAbortsByReason[machine.AbortExplicit] == 0 {
+		t.Error("PhTM shows no explicit phase aborts")
+	}
+}
+
+// Claim (§5.3/Figure 7): at 0% failover the hybrid matches pure HTM;
+// increasing rates degrade the hybrid roughly linearly toward pure STM,
+// while PhTM collapses super-linearly (it drags concurrent hardware
+// transactions along); pure HTM and pure STM are flat.
+func TestClaimFigure7Shapes(t *testing.T) {
+	opt := claimsOptions()
+	threads := 4
+	run := func(kind SystemKind, rate int) Result {
+		r := Run(kind, stamp.NewFailover(60, rate), threads, opt)
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		return r
+	}
+	htm0, htm100 := run(UnboundedHTM, 0), run(UnboundedHTM, 100)
+	if ratio := float64(htm100.Cycles) / float64(htm0.Cycles); ratio > 1.1 {
+		t.Errorf("pure HTM not flat across rates: %.2f", ratio)
+	}
+	stm0, stm100 := run(USTMUFO, 0), run(USTMUFO, 100)
+	if ratio := float64(stm100.Cycles) / float64(stm0.Cycles); ratio > 1.1 {
+		t.Errorf("pure STM not flat across rates: %.2f", ratio)
+	}
+	hy0 := run(UFOHybrid, 0)
+	if ratio := float64(hy0.Cycles) / float64(htm0.Cycles); ratio > 1.03 {
+		t.Errorf("hybrid at 0%% failover %.3f× pure HTM, want ≈1", ratio)
+	}
+	// PhTM at a low rate must already be much worse than the hybrid.
+	hy5, ph5 := run(UFOHybrid, 5), run(PhTM, 5)
+	if ph5.Cycles < hy5.Cycles*11/10 {
+		t.Errorf("PhTM at 5%% (%d cycles) should collapse well below hybrid (%d)", ph5.Cycles, hy5.Cycles)
+	}
+	// The hybrid's software path is costlier than HyTM's (UFO bit
+	// traffic), so at very high rates HyTM catches up or wins.
+	hy100, ht100 := run(UFOHybrid, 100), run(HyTM, 100)
+	if float64(ht100.Cycles) > float64(hy100.Cycles)*1.15 {
+		t.Errorf("HyTM at 100%% (%d) should be within ~15%% of hybrid (%d)", ht100.Cycles, hy100.Cycles)
+	}
+}
+
+// Claim (§5.4/Figure 8): the naive requester-wins policy (paired, as in
+// the paper, with failover after repeated contention aborts) performs
+// far below age-ordered contention management on high-contention code.
+func TestClaimFigure8NaivePolicyTanks(t *testing.T) {
+	opt := claimsOptions()
+	f := benchmarkNamed(t, "genome") // the paper's contention stress test
+	good := speedupOf(t, UFOHybrid, f, 4, opt)
+	naive := opt
+	naive.Params.HWPolicy = machine.RequesterWins
+	naive.Policy.FailoverOnNthConflict = 5
+	bad := speedupOf(t, UFOHybrid, f, 4, naive)
+	if bad > good*0.8 {
+		t.Errorf("naive policy %.2f not clearly below age-ordered %.2f", bad, good)
+	}
+}
+
+// Claim (§4.4): failing over to software on contention is metastable —
+// performance drops sharply versus never failing over on conflicts.
+func TestClaimFailoverOnConflictMetastable(t *testing.T) {
+	opt := claimsOptions()
+	f := benchmarkNamed(t, "kmeans-high")
+	const threads = 16 // the chain reaction needs real contention
+	never := speedupOf(t, UFOHybrid, f, threads, opt)
+	nth := opt
+	nth.Policy.FailoverOnNthConflict = 2
+	onNth := speedupOf(t, UFOHybrid, f, threads, nth)
+	if onNth > never*0.9 {
+		t.Errorf("failover-on-conflict %.2f not below never-failover %.2f", onNth, never)
+	}
+}
+
+// Claim (§4.4): software transactions are older than the hardware
+// transactions they conflict with in the overwhelming majority of
+// STM/HTM conflicts.
+func TestClaimSTMOlderInConflicts(t *testing.T) {
+	opt := claimsOptions()
+	opt.Params.L1Bytes = 8 * 1024
+	opt.Params.L1Ways = 2
+	f := benchmarkNamed(t, "vacation-high")
+	r := Run(UFOHybrid, f.New(), 4, opt)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	older, younger := r.Machine.ConflictSTMOlder, r.Machine.ConflictHTMOlder
+	if older+younger == 0 {
+		t.Skip("no STM/HTM conflicts at this scale")
+	}
+	if frac := float64(older) / float64(older+younger); frac < 0.9 {
+		t.Errorf("STM older in only %.0f%% of conflicts, paper reports >99%%", frac*100)
+	}
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment drivers run end-to-end at small scale; these tests check
+// their structure and rendering, not their values (claims_test.go owns
+// the values).
+
+func TestFigure5StructureAndPrint(t *testing.T) {
+	opt := testOptions()
+	data := Figure5(opt, ScaleSmall)
+	if len(data) != 5 {
+		t.Fatalf("workloads = %d, want 5", len(data))
+	}
+	for _, d := range data {
+		if d.SeqCycles == 0 {
+			t.Fatalf("%s: zero sequential baseline", d.Workload)
+		}
+		for _, sys := range Figure5Systems {
+			for _, th := range ThreadCounts(ScaleSmall) {
+				r, ok := d.Cells[sys][th]
+				if !ok || r.Cycles == 0 {
+					t.Fatalf("%s/%s/p%d missing", d.Workload, sys, th)
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	PrintFigure5(&sb, data, ScaleSmall)
+	for _, want := range []string{"kmeans-high", "vacation-low", "genome", "ufo-hybrid", "p=4"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("Figure 5 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure6StructureAndPrint(t *testing.T) {
+	opt := testOptions()
+	rows := Figure6(opt, ScaleSmall)
+	if len(rows) != 5*len(Figure6Systems) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sb strings.Builder
+	PrintFigure6(&sb, rows)
+	if !strings.Contains(sb.String(), "ufo-kill") || !strings.Contains(sb.String(), "overflow") {
+		t.Fatal("Figure 6 output missing columns")
+	}
+}
+
+func TestFigure7StructureAndPrint(t *testing.T) {
+	opt := testOptions()
+	d := Figure7(opt, ScaleSmall)
+	if len(d.Rates) == 0 || d.Rates[0] != 0 || d.Rates[len(d.Rates)-1] != 100 {
+		t.Fatalf("rates = %v: must span 0..100", d.Rates)
+	}
+	for _, sys := range Figure7Systems {
+		for _, rate := range d.Rates {
+			if d.Cells[sys][rate].Cycles == 0 {
+				t.Fatalf("%s at %d%% missing", sys, rate)
+			}
+		}
+	}
+	var sb strings.Builder
+	PrintFigure7(&sb, d)
+	if !strings.Contains(sb.String(), "Figure 7a") || !strings.Contains(sb.String(), "Figure 7b") {
+		t.Fatal("Figure 7 output incomplete")
+	}
+}
+
+func TestFigure8StructureAndPrint(t *testing.T) {
+	opt := testOptions()
+	rows := Figure8(opt, ScaleSmall)
+	// Three workloads × six variants.
+	if len(rows) != 3*len(Figure8Variants()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sb strings.Builder
+	PrintFigure8(&sb, rows)
+	if !strings.Contains(sb.String(), "requester-wins") {
+		t.Fatal("Figure 8 output missing variants")
+	}
+}
+
+func TestAblationsStructureAndPrint(t *testing.T) {
+	opt := testOptions()
+	rows := Ablations(opt, ScaleSmall)
+	studies := map[string]int{}
+	for _, r := range rows {
+		studies[r.Study]++
+	}
+	for _, s := range []string{"ufo-mitigations", "l1-size", "otable-size", "quantum"} {
+		if studies[s] == 0 {
+			t.Fatalf("study %q missing", s)
+		}
+	}
+	var sb strings.Builder
+	PrintAblations(&sb, rows)
+	if !strings.Contains(sb.String(), "lazy clear") {
+		t.Fatal("ablation output missing configs")
+	}
+}
+
+func TestAblationL1SizeDirectionality(t *testing.T) {
+	opt := testOptions()
+	rows := AblationL1Size(opt, ScaleSmall)
+	// Failovers must not increase with L1 size.
+	var prev = ^uint64(0)
+	for _, r := range rows {
+		f := r.Result.Stats.Failovers
+		if f > prev {
+			t.Fatalf("failovers rose with a larger L1: %v", rows)
+		}
+		prev = f
+	}
+	// And the smallest cache must actually overflow at this scale.
+	if rows[0].Result.Stats.Failovers == 0 {
+		t.Fatal("4 KB L1 produced no failovers")
+	}
+}
+
+func TestExtendedSweep(t *testing.T) {
+	opt := testOptions()
+	data := Extended(opt, ScaleSmall)
+	if len(data) != 3 {
+		t.Fatalf("extended workloads = %d, want 3", len(data))
+	}
+	names := map[string]bool{}
+	for _, d := range data {
+		names[d.Workload] = true
+	}
+	for _, want := range []string{"ssca2", "intruder", "labyrinth"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestTraceLimitReturnsTrace(t *testing.T) {
+	opt := testOptions()
+	opt.TraceLimit = 64
+	f := Benchmarks(ScaleSmall)[0]
+	r := Run(UFOHybrid, f.New(), 2, opt)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Trace == nil || r.Trace.Total() == 0 {
+		t.Fatal("trace missing or empty")
+	}
+}

@@ -1,0 +1,242 @@
+// Package harness runs stamp workloads across TM systems and thread
+// counts, checks their invariants, and formats the paper's evaluation
+// artifacts: the Figure 5 speedup curves, the Figure 6 abort-reason
+// breakdown, the Figure 7 software-failover microbenchmark, and the
+// Figure 8 contention-policy sensitivity study.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hytm"
+	"repro/internal/machine"
+	"repro/internal/phtm"
+	"repro/internal/seq"
+	"repro/internal/stamp"
+	"repro/internal/tl2"
+	"repro/internal/tm"
+	"repro/internal/unbounded"
+	"repro/internal/ustm"
+)
+
+// SystemKind names a buildable TM configuration.
+type SystemKind string
+
+// The buildable systems.
+const (
+	Sequential   SystemKind = "sequential"
+	GlobalLock   SystemKind = "global-lock"
+	UnboundedHTM SystemKind = "unbounded-htm"
+	UFOHybrid    SystemKind = "ufo-hybrid"
+	HyTM         SystemKind = "hytm"
+	PhTM         SystemKind = "phtm"
+	USTM         SystemKind = "ustm"
+	USTMUFO      SystemKind = "ustm+ufo"
+	TL2          SystemKind = "tl2"
+)
+
+// Figure5Systems are the systems the paper's Figure 5 compares.
+var Figure5Systems = []SystemKind{
+	UnboundedHTM, UFOHybrid, HyTM, PhTM, USTMUFO, USTM, TL2,
+}
+
+// Options configures a run.
+type Options struct {
+	// Params is the machine configuration; Procs is overridden by the
+	// per-run thread count.
+	Params machine.Params
+	// OTableRows sizes the USTM otable for the STM-based systems.
+	OTableRows int
+	// Policy configures the UFO hybrid.
+	Policy core.Policy
+	// TraceLimit, when positive, enables machine tracing (most recent
+	// events kept) and returns the trace in the Result.
+	TraceLimit int
+}
+
+// DefaultOptions returns the evaluation configuration.
+func DefaultOptions() Options {
+	p := machine.DefaultParams(1)
+	p.MemBytes = 1 << 26
+	p.MaxSteps = 400_000_000
+	return Options{
+		Params:     p,
+		OTableRows: 1 << 16,
+		Policy:     core.DefaultPolicy(),
+	}
+}
+
+// Build constructs the named system over a machine.
+func Build(kind SystemKind, m *machine.Machine, opt Options) tm.System {
+	cfg := ustm.DefaultConfig()
+	if opt.OTableRows != 0 {
+		cfg.OTableRows = opt.OTableRows
+	}
+	switch kind {
+	case Sequential:
+		return seq.New(m, seq.Sequential)
+	case GlobalLock:
+		return seq.New(m, seq.GlobalLock)
+	case UnboundedHTM:
+		return unbounded.New(m)
+	case UFOHybrid:
+		return core.New(m, cfg, opt.Policy)
+	case HyTM:
+		return hytm.New(m, cfg)
+	case PhTM:
+		return phtm.New(m, cfg)
+	case USTM:
+		cfg.StrongAtomicity = false
+		return ustm.New(m, cfg)
+	case USTMUFO:
+		cfg.StrongAtomicity = true
+		return ustm.New(m, cfg)
+	case TL2:
+		return tl2.New(m, tl2.DefaultConfig())
+	}
+	panic("harness: unknown system " + string(kind))
+}
+
+// Result is one (workload, system, threads) measurement.
+type Result struct {
+	System   SystemKind
+	Workload string
+	Threads  int
+	Cycles   uint64
+	Stats    tm.Stats
+	Machine  machine.Counters
+	Trace    *machine.Trace // non-nil when Options.TraceLimit > 0
+	Err      error          // non-nil if the workload invariant failed
+}
+
+// Speedup returns base/those cycles.
+func (r Result) Speedup(seqCycles uint64) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(seqCycles) / float64(r.Cycles)
+}
+
+// Run executes one workload on one system with the given thread count.
+// The workload must be freshly constructed (Init mutates it).
+func Run(kind SystemKind, wl stamp.Workload, threads int, opt Options) Result {
+	params := opt.Params
+	params.Procs = threads
+	m := machine.New(params)
+	var tr *machine.Trace
+	if opt.TraceLimit > 0 {
+		tr = m.EnableTrace(opt.TraceLimit)
+	}
+	sys := Build(kind, m, opt)
+	wl.Init(m, threads)
+	bodies := make([]func(*machine.Proc), threads)
+	for i := 0; i < threads; i++ {
+		ex := sys.Exec(m.Proc(i))
+		tid := i
+		bodies[i] = func(*machine.Proc) { wl.Thread(tid, ex) }
+	}
+	m.Run(bodies)
+	return Result{
+		System:   kind,
+		Workload: wl.Name(),
+		Threads:  threads,
+		Cycles:   m.Cycles(),
+		Stats:    *sys.Stats(),
+		Machine:  m.Count,
+		Trace:    tr,
+		Err:      wl.Validate(m),
+	}
+}
+
+// WorkloadFactory builds a fresh workload instance per run.
+type WorkloadFactory struct {
+	Name string
+	New  func() stamp.Workload
+}
+
+// Scale selects experiment sizes.
+type Scale int
+
+// Scales.
+const (
+	// ScaleSmall keeps runs fast enough for unit tests.
+	ScaleSmall Scale = iota
+	// ScaleFull is the configuration the committed EXPERIMENTS.md uses.
+	ScaleFull
+)
+
+// Benchmarks returns the five Figure 5 workload configurations at the
+// given scale.
+func Benchmarks(s Scale) []WorkloadFactory {
+	type sz struct {
+		kmeansPts  int
+		vacRel     int
+		vacTasks   int
+		genomeSegs int
+	}
+	z := sz{kmeansPts: 320, vacRel: 192, vacTasks: 24, genomeSegs: 192}
+	if s == ScaleFull {
+		z = sz{kmeansPts: 2400, vacRel: 2048, vacTasks: 96, genomeSegs: 768}
+	}
+	return []WorkloadFactory{
+		{"kmeans-high", func() stamp.Workload { return stamp.KMeansHigh(z.kmeansPts) }},
+		{"kmeans-low", func() stamp.Workload { return stamp.KMeansLow(z.kmeansPts) }},
+		{"vacation-high", func() stamp.Workload { return stamp.VacationHigh(z.vacRel, z.vacTasks) }},
+		{"vacation-low", func() stamp.Workload { return stamp.VacationLow(z.vacRel, z.vacTasks) }},
+		{"genome", func() stamp.Workload { return stamp.NewGenome(z.genomeSegs) }},
+	}
+}
+
+// ExtendedBenchmarks returns the extension workloads at the given scale
+// — STAMP applications beyond the three the paper evaluates, covering the
+// remaining corners of the design space: ssca2 (tiny transactions, low
+// contention), intruder (queue-serialized pipeline), labyrinth (huge
+// transactions that live almost entirely in the software TM).
+func ExtendedBenchmarks(s Scale) []WorkloadFactory {
+	type sz struct {
+		nodes, edges int
+		flows, frags int
+		grid, paths  int
+	}
+	z := sz{nodes: 64, edges: 400, flows: 24, frags: 4, grid: 24, paths: 3}
+	if s == ScaleFull {
+		z = sz{nodes: 256, edges: 3000, flows: 96, frags: 6, grid: 48, paths: 8}
+	}
+	return []WorkloadFactory{
+		{"ssca2", func() stamp.Workload { return stamp.NewSSCA2(z.nodes, z.edges) }},
+		{"intruder", func() stamp.Workload { return stamp.NewIntruder(z.flows, z.frags) }},
+		{"labyrinth", func() stamp.Workload {
+			l := stamp.NewLabyrinth(z.grid, z.grid, z.paths)
+			if s == ScaleFull {
+				// Long routes exceed BTM's capacity: the all-software regime.
+				l.PathLen = 256
+			}
+			return l
+		}},
+	}
+}
+
+// ThreadCounts returns the Figure 5 x-axis at the given scale.
+func ThreadCounts(s Scale) []int {
+	if s == ScaleFull {
+		return []int{1, 2, 4, 8, 16}
+	}
+	return []int{1, 2, 4}
+}
+
+// SeqBaseline measures the sequential execution of a workload (the
+// denominator of every speedup).
+func SeqBaseline(f WorkloadFactory, opt Options) Result {
+	return Run(Sequential, f.New(), 1, opt)
+}
+
+// mustOK panics if a run failed validation — an experiment on a broken
+// run would be meaningless.
+func mustOK(r Result) Result {
+	if r.Err != nil {
+		panic(fmt.Sprintf("harness: %s on %s with %d threads failed validation: %v",
+			r.Workload, r.System, r.Threads, r.Err))
+	}
+	return r
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure5SeedsAggregates(t *testing.T) {
+	opt := testOptions()
+	stats := Figure5Seeds(opt, ScaleSmall, 2)
+	want := 5 * len(Figure5Systems) * len(ThreadCounts(ScaleSmall))
+	if len(stats) != want {
+		t.Fatalf("cells = %d, want %d", len(stats), want)
+	}
+	for _, s := range stats {
+		if len(s.Speedups) != 2 {
+			t.Fatalf("%s/%s/p%d has %d samples", s.Workload, s.System, s.Threads, len(s.Speedups))
+		}
+		lo, hi := s.MinMax()
+		if !(lo <= s.Mean() && s.Mean() <= hi) {
+			t.Fatalf("mean outside [min,max]: %+v", s)
+		}
+	}
+	var sb strings.Builder
+	PrintSeedStats(&sb, stats)
+	if !strings.Contains(sb.String(), "mean") {
+		t.Fatal("print missing header")
+	}
+}
+
+func TestSeedStatsMath(t *testing.T) {
+	s := SeedStats{Speedups: []float64{1, 2, 3}}
+	if s.Mean() != 2 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	lo, hi := s.MinMax()
+	if lo != 1 || hi != 3 {
+		t.Fatalf("minmax = %v/%v", lo, hi)
+	}
+	var empty SeedStats
+	if empty.Mean() != 0 {
+		t.Fatal("empty mean")
+	}
+	if lo, hi := empty.MinMax(); lo != 0 || hi != 0 {
+		t.Fatal("empty minmax")
+	}
+}
+
+func TestWriteFigure5CSV(t *testing.T) {
+	opt := testOptions()
+	data := Figure5(opt, ScaleSmall)
+	var sb strings.Builder
+	if err := WriteFigure5CSV(&sb, data, ScaleSmall); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	want := 1 + 5*len(Figure5Systems)*len(ThreadCounts(ScaleSmall))
+	if len(lines) != want {
+		t.Fatalf("csv rows = %d, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "workload,system,threads") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}

@@ -1,0 +1,42 @@
+package machine
+
+import "testing"
+
+// BenchmarkNTAccessHot measures an L1-hit non-transactional access.
+func BenchmarkNTAccessHot(b *testing.B) {
+	m := New(testParams(1))
+	m.Run([]func(*Proc){func(p *Proc) {
+		p.NTWrite(0, 1) // warm
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.NTRead(0)
+		}
+	}})
+}
+
+// BenchmarkHWTxRoundTrip measures begin + one store + commit.
+func BenchmarkHWTxRoundTrip(b *testing.B) {
+	m := New(testParams(1))
+	m.Run([]func(*Proc){func(p *Proc) {
+		p.NTWrite(0, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.BeginHW(m.NextAge(), true)
+			p.TxWrite(0, uint64(i))
+			p.CommitHW()
+		}
+	}})
+}
+
+// BenchmarkUFOSetClear measures the protection-bit instruction pair.
+func BenchmarkUFOSetClear(b *testing.B) {
+	m := New(testParams(1))
+	m.Run([]func(*Proc){func(p *Proc) {
+		p.SetUFOEnabled(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.SetUFO(0, 3)
+			p.SetUFO(0, 0)
+		}
+	}})
+}

@@ -1,0 +1,499 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// HWTx is the architectural state of an in-flight hardware transaction:
+// the speculative read/write line-sets (the SR/SW bits of the paper,
+// hoisted out of the cache array so the unbounded HTM can share the
+// implementation) and the speculative store buffer that stands in for
+// speculatively-dirty cache lines.
+type HWTx struct {
+	Age      uint64
+	Bounded  bool // true for BTM (L1-limited), false for the unbounded HTM
+	ReadSet  map[uint64]struct{}
+	WriteSet map[uint64]struct{}
+	Spec     map[uint64]uint64 // speculative word values, by address
+
+	pendingAbort AbortReason
+	abortAddr    uint64
+}
+
+// Footprint returns the number of distinct lines read or written.
+func (t *HWTx) Footprint() int {
+	n := len(t.WriteSet)
+	for l := range t.ReadSet {
+		if _, w := t.WriteSet[l]; !w {
+			n++
+		}
+	}
+	return n
+}
+
+// Proc is one simulated processor plus its private L1 and transactional
+// state. All methods must be called from the processor's own workload
+// goroutine, except where noted.
+type Proc struct {
+	m   *Machine
+	sp  *sim.Proc
+	l1  *cache.L1
+	ufo bool // UFO faults enabled for the current thread
+
+	hw *HWTx // in-flight hardware transaction, or nil
+
+	// Software-transaction identity, published by the STM layer so the
+	// machine can classify STM-vs-HTM conflicts (Section 5.4's ">99%
+	// STM-older" measurement).
+	stmAge uint64
+	inSTM  bool
+	rng    *sim.Rand
+}
+
+// ID returns the processor number.
+func (p *Proc) ID() int { return p.sp.ID() }
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Now returns the processor's local clock.
+func (p *Proc) Now() uint64 { return p.sp.Now() }
+
+// Elapse charges pure-compute cycles.
+func (p *Proc) Elapse(c uint64) { p.sp.Elapse(c) }
+
+// Block deschedules the processor until another wakes it.
+func (p *Proc) Block() { p.sp.Block() }
+
+// Wake readies a blocked processor (callable from any running processor).
+func (p *Proc) Wake(q *Proc) { p.sp.Wake(q.sp) }
+
+// SetNote attaches a diagnostic label shown in engine dumps.
+func (p *Proc) SetNote(format string, args ...any) { p.sp.SetNote(format, args...) }
+
+// Rand returns a per-processor deterministic random stream.
+func (p *Proc) Rand() *sim.Rand {
+	if p.rng == nil {
+		p.rng = sim.NewRand(p.m.Seed*2654435761 + uint64(p.ID()) + 1)
+	}
+	return p.rng
+}
+
+// L1 exposes the occupancy model (for tests and statistics).
+func (p *Proc) L1() *cache.L1 { return p.l1 }
+
+// --- UFO thread state (Table 2: enable_ufo / disable_ufo) ---
+
+// SetUFOEnabled turns UFO faulting on or off for this thread.
+func (p *Proc) SetUFOEnabled(on bool) { p.ufo = on }
+
+// UFOEnabled reports whether UFO faults are delivered to this thread.
+func (p *Proc) UFOEnabled() bool { return p.ufo }
+
+// SetSTM publishes that this processor is (or is no longer) executing a
+// software transaction of the given age.
+func (p *Proc) SetSTM(active bool, age uint64) {
+	p.inSTM = active
+	p.stmAge = age
+}
+
+// InSTM reports whether a software transaction is active on this processor.
+func (p *Proc) InSTM() bool { return p.inSTM }
+
+// --- Hardware transactions ---
+
+// HW returns the in-flight hardware transaction, or nil.
+func (p *Proc) HW() *HWTx { return p.hw }
+
+// BeginHW starts a hardware transaction with the given age. bounded
+// selects BTM semantics (L1-capacity-limited) versus the idealized
+// unbounded HTM. Nesting is the caller's concern (BTM flattens).
+func (p *Proc) BeginHW(age uint64, bounded bool) {
+	if p.hw != nil {
+		panic("machine: BeginHW with transaction already active")
+	}
+	p.hw = &HWTx{
+		Age:      age,
+		Bounded:  bounded,
+		ReadSet:  make(map[uint64]struct{}),
+		WriteSet: make(map[uint64]struct{}),
+		Spec:     make(map[uint64]uint64),
+	}
+	p.record(TraceHWBegin, AbortNone, 0, age)
+}
+
+// CommitHW atomically publishes the transaction's speculative writes and
+// ends it. If an abort was already pending the transaction is aborted
+// instead and the outcome says so.
+func (p *Proc) CommitHW() Outcome {
+	t := p.hw
+	if t == nil {
+		panic("machine: CommitHW with no transaction")
+	}
+	if t.pendingAbort != AbortNone {
+		return p.consumeAbort()
+	}
+	for addr, val := range t.Spec {
+		p.m.Mem.Write64(addr, val)
+	}
+	p.m.Count.HWCommits++
+	p.m.Count.HWFootprint.Add(t.Footprint())
+	p.record(TraceHWCommit, AbortNone, 0, t.Age)
+	p.hw = nil
+	return okOutcome
+}
+
+// AbortHW aborts the in-flight transaction for a self-inflicted reason
+// (explicit abort, syscall, I/O, exception marker). Speculative state is
+// discarded; the caller unwinds.
+func (p *Proc) AbortHW(reason AbortReason) {
+	t := p.hw
+	if t == nil {
+		panic("machine: AbortHW with no transaction")
+	}
+	p.killHW(p, reason, 0)
+	p.consumeAbort()
+}
+
+// consumeAbort retires a pending abort: it records statistics, clears the
+// transaction, and returns the HWAborted outcome.
+func (p *Proc) consumeAbort() Outcome {
+	t := p.hw
+	reason, addr := t.pendingAbort, t.abortAddr
+	p.m.Count.HWAbortsByReason[reason]++
+	p.record(TraceHWAbort, reason, addr, t.Age)
+	p.hw = nil
+	return Outcome{Kind: HWAborted, Reason: reason, Addr: addr}
+}
+
+// killHW flash-clears victim's transactional state and records the abort
+// reason for delivery at the victim's next transactional operation. killer
+// is the processor performing the conflicting action (may equal victim).
+func (p *Proc) killHW(victim *Proc, reason AbortReason, addr uint64) {
+	t := victim.hw
+	if t == nil || t.pendingAbort != AbortNone {
+		return
+	}
+	t.pendingAbort = reason
+	t.abortAddr = addr
+	// Speculatively written lines are invalidated on abort (they were
+	// never globally visible); the read set simply loses its SR bits.
+	for l := range t.WriteSet {
+		victim.l1.Invalidate(l)
+		p.m.dir.Remove(l, victim.ID())
+	}
+	t.ReadSet = map[uint64]struct{}{}
+	t.WriteSet = map[uint64]struct{}{}
+	t.Spec = map[uint64]uint64{}
+}
+
+// timerInterrupt models the scheduling-timer quantum: an in-flight
+// hardware transaction cannot survive an interrupt (Section 3.1).
+func (p *Proc) timerInterrupt() {
+	if p.hw != nil {
+		p.killHW(p, AbortInterrupt, 0)
+	}
+}
+
+// checkPending delivers a pending asynchronous abort, if any.
+func (p *Proc) checkPending() (Outcome, bool) {
+	if p.hw != nil && p.hw.pendingAbort != AbortNone {
+		return p.consumeAbort(), true
+	}
+	return okOutcome, false
+}
+
+// --- The memory operation core ---
+
+// access performs the full architectural sequence for one memory
+// operation: UFO protection check, conflict detection and resolution
+// against other processors' hardware transactions, and cache/coherence
+// timing. tx marks the access as part of p's hardware transaction.
+func (p *Proc) access(addr uint64, write, tx bool) Outcome {
+	if tx {
+		if out, aborted := p.checkPending(); aborted {
+			return out
+		}
+		if p.hw == nil {
+			panic("machine: transactional access with no transaction")
+		}
+	} else if p.hw != nil {
+		// BTM has no non-transactional loads/stores (paper, footnote 9).
+		panic("machine: non-transactional access inside a hardware transaction")
+	}
+
+	// 1. UFO protection check: the fault is raised before the access
+	// completes, so a faulting access has no architectural effect.
+	if p.ufo && p.m.Mem.Faults(addr, write) {
+		p.m.Count.UFOFaults++
+		p.record(TraceUFOFault, AbortNone, addr, 0)
+		p.sp.Elapse(p.m.L1HitCycles) // the tag check that detected the fault
+		return Outcome{Kind: UFOFault, Addr: addr}
+	}
+
+	// 2. Conflict detection against other processors' HW transactions.
+	line := mem.LineOf(addr)
+	if out, resolved := p.resolveConflicts(line, write, tx); !resolved {
+		return out
+	}
+
+	// 3. Track the transactional footprint before the timing charge: the
+	// coherence acquisition and the SR/SW-bit update are one atomic
+	// hardware action, and the charge below may yield to other processors
+	// whose conflicting actions must observe the updated footprint.
+	if tx {
+		if write {
+			p.hw.WriteSet[line] = struct{}{}
+		} else {
+			p.hw.ReadSet[line] = struct{}{}
+		}
+	}
+
+	// 4. Cache and coherence timing. This can self-abort (set overflow),
+	// race with a timer interrupt, or lose the line to a concurrent
+	// conflictor, so pending aborts are delivered before data moves.
+	p.charge(line, write)
+	if tx {
+		if out, aborted := p.checkPending(); aborted {
+			return out
+		}
+	}
+	return okOutcome
+}
+
+// resolveConflicts applies the machine's contention policy to every
+// hardware transaction whose footprint conflicts with this access.
+// resolved=false means the access must not proceed (NACK or own abort).
+func (p *Proc) resolveConflicts(line uint64, write, tx bool) (Outcome, bool) {
+	var victims []*Proc
+	for _, q := range p.m.procs {
+		if q == p || q.hw == nil || q.hw.pendingAbort != AbortNone {
+			continue
+		}
+		_, inW := q.hw.WriteSet[line]
+		_, inR := q.hw.ReadSet[line]
+		if inW || (write && inR) {
+			victims = append(victims, q)
+		}
+	}
+	if len(victims) == 0 {
+		return okOutcome, true
+	}
+	if !tx {
+		// A non-transactional (or STM) access always serializes against
+		// hardware transactions by aborting them: HTMs are strongly atomic
+		// through coherence. STM-vs-HTM conflicts are also classified for
+		// the Section 5.4 measurement.
+		for _, q := range victims {
+			if p.inSTM {
+				if p.stmAge < q.hw.Age {
+					p.m.Count.ConflictSTMOlder++
+				} else {
+					p.m.Count.ConflictHTMOlder++
+				}
+			}
+			p.killHW(q, AbortNonTConflict, mem.LineAddr(line))
+		}
+		return okOutcome, true
+	}
+	// HW-vs-HW: age-ordered resolution (or requester-wins for Figure 8).
+	if p.m.HWPolicy == AgeOrdered {
+		for _, q := range victims {
+			if q.hw.Age < p.hw.Age {
+				p.m.Count.Nacks++
+				p.record(TraceNack, AbortNone, mem.LineAddr(line), p.hw.Age)
+				return Outcome{Kind: Nacked}, false
+			}
+		}
+	}
+	for _, q := range victims {
+		p.killHW(q, AbortConflict, mem.LineAddr(line))
+	}
+	return okOutcome, true
+}
+
+// charge models the latency of the reference and maintains L1 occupancy
+// and the directory. A write invalidates all other cached copies.
+func (p *Proc) charge(line uint64, write bool) {
+	hit, victim, evicted := p.l1.Touch(line)
+	cost := p.m.L1HitCycles
+	if !hit {
+		if p.m.warm[line] {
+			if len(p.m.dir.Others(line, p.ID())) > 0 {
+				cost += p.m.TransferCycles
+			} else {
+				cost += p.m.L2HitCycles
+			}
+		} else {
+			p.m.warm[line] = true
+			cost += p.m.MemCycles
+		}
+		p.m.dir.Add(line, p.ID())
+		if evicted {
+			p.m.dir.Remove(victim, p.ID())
+			if p.hw != nil && p.hw.Bounded {
+				_, inR := p.hw.ReadSet[victim]
+				_, inW := p.hw.WriteSet[victim]
+				if inR || inW {
+					// Evicting a transactional line overflows BTM.
+					p.killHW(p, AbortOverflow, mem.LineAddr(victim))
+				}
+			}
+		}
+	}
+	if write {
+		others := p.m.dir.Others(line, p.ID())
+		if len(others) > 0 {
+			cost += p.m.TransferCycles // exclusive-permission upgrade
+			for _, q := range others {
+				p.m.procs[q].l1.Invalidate(line)
+				p.m.dir.Remove(line, q)
+			}
+		}
+	}
+	p.sp.Elapse(cost)
+}
+
+// --- Data-path operations ---
+
+// TxRead performs a transactional load.
+func (p *Proc) TxRead(addr uint64) (uint64, Outcome) {
+	out := p.access(addr, false, true)
+	if out.Kind != OK {
+		return 0, out
+	}
+	if v, ok := p.hw.Spec[addr]; ok {
+		return v, okOutcome
+	}
+	return p.m.Mem.Read64(addr), okOutcome
+}
+
+// TxWrite performs a transactional store into the speculative buffer.
+func (p *Proc) TxWrite(addr, val uint64) Outcome {
+	out := p.access(addr, true, true)
+	if out.Kind != OK {
+		return out
+	}
+	p.hw.Spec[addr] = val
+	return okOutcome
+}
+
+// NTRead performs a non-transactional load.
+func (p *Proc) NTRead(addr uint64) (uint64, Outcome) {
+	out := p.access(addr, false, false)
+	if out.Kind != OK {
+		return 0, out
+	}
+	return p.m.Mem.Read64(addr), okOutcome
+}
+
+// NTWrite performs a non-transactional store.
+func (p *Proc) NTWrite(addr, val uint64) Outcome {
+	out := p.access(addr, true, false)
+	if out.Kind != OK {
+		return out
+	}
+	p.m.Mem.Write64(addr, val)
+	return okOutcome
+}
+
+// --- UFO bit operations (Table 2) ---
+
+// SetUFO installs protection bits on the line containing addr
+// (set_ufo_bits). Because the bits must stay coherent, the instruction
+// acquires exclusive permission, invalidating every other cached copy —
+// and thereby killing any hardware transaction whose footprint includes
+// the line (the BTM/UFO interaction of Section 4.3). Under the
+// TrueConflictUFOKills limit study only genuinely conflicting
+// transactions are killed.
+func (p *Proc) SetUFO(addr uint64, bits mem.UFOBits) {
+	p.ufoUpdate(addr, func() { p.m.Mem.SetUFO(addr, bits) }, bits)
+}
+
+// AddUFO ORs protection bits into the line containing addr (add_ufo_bits).
+func (p *Proc) AddUFO(addr uint64, bits mem.UFOBits) {
+	p.ufoUpdate(addr, func() { p.m.Mem.AddUFO(addr, bits) }, bits)
+}
+
+func (p *Proc) ufoUpdate(addr uint64, apply func(), bits mem.UFOBits) {
+	line := mem.LineOf(addr)
+	old := p.m.Mem.UFO(addr)
+	cost := p.m.UFOOpCycles
+
+	// The paper's two proposed mitigations for false UFO/BTM conflicts:
+	// a pure downgrade under lazy clearing, or a fault-on-write-only
+	// install under owner-state setting, need not blow every other copy
+	// away. (Section 4.3: "setting UFO bits in the owner state" / "lazily
+	// clearing UFO bits for read-mostly data".)
+	downgrade := bits&^old == 0 // no new protection added
+	fowOnly := bits&^old == mem.UFOFaultOnWrite
+	if p.m.LazyUFOClear && downgrade {
+		apply()
+		p.sp.Elapse(cost)
+		return
+	}
+	sharedInstall := p.m.OwnerStateUFO && fowOnly
+
+	// Exclusive permission: invalidate all other copies (unless the
+	// owner-state optimization keeps read-sharers valid).
+	if !sharedInstall {
+		others := p.m.dir.Others(line, p.ID())
+		if len(others) > 0 {
+			cost += p.m.TransferCycles
+		}
+		for _, qid := range others {
+			q := p.m.procs[qid]
+			q.l1.Invalidate(line)
+			p.m.dir.Remove(line, qid)
+		}
+	}
+	// Kill hardware transactions holding the line.
+	for _, q := range p.m.procs {
+		if q == p || q.hw == nil || q.hw.pendingAbort != AbortNone {
+			continue
+		}
+		_, inR := q.hw.ReadSet[line]
+		_, inW := q.hw.WriteSet[line]
+		if !inR && !inW {
+			continue
+		}
+		trueConflict := inW || bits&mem.UFOFaultOnRead != 0
+		if trueConflict {
+			p.m.Count.UFOKillsTrue++
+		} else {
+			p.m.Count.UFOKillsFalse++
+			if p.m.TrueConflictUFOKills {
+				continue // limit study: spare false conflicts
+			}
+			if sharedInstall {
+				continue // owner-state install: readers survive
+			}
+		}
+		if p.inSTM {
+			if p.stmAge < q.hw.Age {
+				p.m.Count.ConflictSTMOlder++
+			} else {
+				p.m.Count.ConflictHTMOlder++
+			}
+		}
+		p.killHW(q, AbortUFOKill, mem.LineAddr(line))
+	}
+	apply()
+	p.record(TraceUFOSet, AbortNone, addr, 0)
+	p.sp.Elapse(cost)
+}
+
+// ReadUFO returns the line's protection bits (read_ufo_bits).
+func (p *Proc) ReadUFO(addr uint64) mem.UFOBits {
+	p.sp.Elapse(p.m.UFOOpCycles)
+	return p.m.Mem.UFO(addr)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Proc) String() string {
+	return fmt.Sprintf("proc%d@%d", p.ID(), p.Now())
+}

@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceHWBegin TraceKind = iota
+	TraceHWCommit
+	TraceHWAbort
+	TraceSWBegin
+	TraceSWCommit
+	TraceSWAbort
+	TraceUFOSet
+	TraceUFOFault
+	TraceNack
+	TraceBlock
+	TraceWake
+)
+
+var traceKindNames = []string{
+	"hw-begin", "hw-commit", "hw-abort", "sw-begin", "sw-commit",
+	"sw-abort", "ufo-set", "ufo-fault", "nack", "block", "wake",
+}
+
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return fmt.Sprintf("TraceKind(%d)", uint8(k))
+}
+
+// TraceEvent is one recorded event.
+type TraceEvent struct {
+	Cycle  uint64
+	Proc   int
+	Kind   TraceKind
+	Reason AbortReason // for aborts
+	Addr   uint64      // for ufo-set / ufo-fault / conflict addresses
+	Age    uint64      // transaction age, where applicable
+}
+
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("%10d  p%-2d %-9s", e.Cycle, e.Proc, e.Kind)
+	switch e.Kind {
+	case TraceHWAbort, TraceSWAbort:
+		s += fmt.Sprintf(" reason=%s", e.Reason)
+		if e.Addr != 0 {
+			s += fmt.Sprintf(" addr=%#x", e.Addr)
+		}
+	case TraceUFOSet, TraceUFOFault:
+		s += fmt.Sprintf(" addr=%#x", e.Addr)
+	}
+	if e.Age != 0 {
+		s += fmt.Sprintf(" age=%d", e.Age)
+	}
+	return s
+}
+
+// Trace is a bounded in-memory event log. Enable it with
+// Machine.EnableTrace; when full it keeps the most recent events (ring
+// buffer), which is what post-mortem debugging wants.
+type Trace struct {
+	limit  int
+	events []TraceEvent
+	start  int // ring start when full
+	total  uint64
+}
+
+// EnableTrace starts recording up to limit events (most recent kept).
+func (m *Machine) EnableTrace(limit int) *Trace {
+	if limit <= 0 {
+		limit = 4096
+	}
+	m.trace = &Trace{limit: limit}
+	return m.trace
+}
+
+// Trace returns the machine's trace, or nil.
+func (m *Machine) Trace() *Trace { return m.trace }
+
+// add records an event.
+func (t *Trace) add(e TraceEvent) {
+	t.total++
+	if len(t.events) < t.limit {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.start] = e
+	t.start = (t.start + 1) % t.limit
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Trace) Events() []TraceEvent {
+	if t.start == 0 {
+		return append([]TraceEvent(nil), t.events...)
+	}
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// Total reports how many events were recorded (including evicted ones).
+func (t *Trace) Total() uint64 { return t.total }
+
+// Dump writes the recorded events to w.
+func (t *Trace) Dump(w io.Writer) {
+	if t.total > uint64(len(t.events)) {
+		fmt.Fprintf(w, "(%d earlier events evicted)\n", t.total-uint64(len(t.events)))
+	}
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// record is the machine-side hook (no-op when tracing is off).
+func (p *Proc) record(kind TraceKind, reason AbortReason, addr, age uint64) {
+	if p.m.trace == nil {
+		return
+	}
+	p.m.trace.add(TraceEvent{
+		Cycle: p.Now(), Proc: p.ID(), Kind: kind,
+		Reason: reason, Addr: addr, Age: age,
+	})
+}
+
+// RecordSW lets software TMs log their transaction lifecycle into the
+// shared trace.
+func (p *Proc) RecordSW(kind TraceKind, reason AbortReason, age uint64) {
+	p.record(kind, reason, 0, age)
+}

@@ -1,0 +1,156 @@
+// Package mem models the simulated machine's physical memory, including
+// the paper's UFO extension: two user-fault-on bits (fault-on-read and
+// fault-on-write) per 64-byte line that travel with the data through the
+// whole memory hierarchy — caches, DRAM, and the swap file (Appendix A of
+// the paper).
+//
+// Addresses are byte addresses; data is accessed at 64-bit-word
+// granularity and must be 8-byte aligned. The UFO bits here are the single
+// architectural copy: the cache layer keeps them coherent by requiring
+// exclusive coherence permission to modify them, exactly as the paper's
+// set_ufo_bits instruction does.
+package mem
+
+import "fmt"
+
+const (
+	// WordBytes is the access granularity.
+	WordBytes = 8
+	// LineBytes is the cache-line (and UFO-bit) granularity.
+	LineBytes = 64
+	// LineWords is the number of words per line.
+	LineWords = LineBytes / WordBytes
+	// PageBytes is the page size used by the swap model.
+	PageBytes = 4096
+	// PageLines is the number of lines per page.
+	PageLines = PageBytes / LineBytes
+)
+
+// UFOBits is the per-line protection state (Table 2 of the paper).
+type UFOBits uint8
+
+const (
+	// UFONone means accesses proceed normally.
+	UFONone UFOBits = 0
+	// UFOFaultOnRead raises a fault before a read completes.
+	UFOFaultOnRead UFOBits = 1 << 0
+	// UFOFaultOnWrite raises a fault before a write completes.
+	UFOFaultOnWrite UFOBits = 1 << 1
+	// UFOFaultAll faults on any access.
+	UFOFaultAll = UFOFaultOnRead | UFOFaultOnWrite
+)
+
+func (b UFOBits) String() string {
+	switch b {
+	case UFONone:
+		return "none"
+	case UFOFaultOnRead:
+		return "fault-on-read"
+	case UFOFaultOnWrite:
+		return "fault-on-write"
+	case UFOFaultAll:
+		return "fault-on-read|write"
+	}
+	return fmt.Sprintf("UFOBits(%d)", uint8(b))
+}
+
+// LineOf returns the line index containing addr.
+func LineOf(addr uint64) uint64 { return addr / LineBytes }
+
+// LineAddr returns the base byte address of line index l.
+func LineAddr(l uint64) uint64 { return l * LineBytes }
+
+// Memory is the simulated physical memory plus per-line UFO bit storage.
+// The zero value is not usable; call New.
+type Memory struct {
+	words []uint64
+	ufo   []UFOBits // one entry per line
+	brk   uint64    // sbrk-style allocation frontier, in bytes
+}
+
+// New creates a memory of the given size in bytes (rounded up to a whole
+// page).
+func New(sizeBytes uint64) *Memory {
+	if sizeBytes == 0 {
+		sizeBytes = PageBytes
+	}
+	pages := (sizeBytes + PageBytes - 1) / PageBytes
+	sizeBytes = pages * PageBytes
+	return &Memory{
+		words: make([]uint64, sizeBytes/WordBytes),
+		ufo:   make([]UFOBits, sizeBytes/LineBytes),
+	}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.words)) * WordBytes }
+
+// Sbrk extends the allocation frontier by n bytes (rounded up to a line)
+// and returns the base address of the new region, growing physical memory
+// if needed. It is the substrate for the transactional allocator.
+func (m *Memory) Sbrk(n uint64) uint64 {
+	n = (n + LineBytes - 1) / LineBytes * LineBytes
+	base := m.brk
+	m.brk += n
+	for m.brk > m.Size() {
+		m.grow()
+	}
+	return base
+}
+
+func (m *Memory) grow() {
+	newWords := make([]uint64, len(m.words)*2)
+	copy(newWords, m.words)
+	m.words = newWords
+	newUFO := make([]UFOBits, len(m.ufo)*2)
+	copy(newUFO, m.ufo)
+	m.ufo = newUFO
+}
+
+func (m *Memory) checkAddr(addr uint64) {
+	if addr%WordBytes != 0 {
+		panic(fmt.Sprintf("mem: unaligned access at %#x", addr))
+	}
+	if addr >= m.Size() {
+		panic(fmt.Sprintf("mem: access at %#x beyond memory size %#x", addr, m.Size()))
+	}
+}
+
+// Read64 returns the committed word at addr.
+func (m *Memory) Read64(addr uint64) uint64 {
+	m.checkAddr(addr)
+	return m.words[addr/WordBytes]
+}
+
+// Write64 stores a committed word at addr.
+func (m *Memory) Write64(addr, val uint64) {
+	m.checkAddr(addr)
+	m.words[addr/WordBytes] = val
+}
+
+// UFO returns the UFO bits for the line containing addr
+// (read_ufo_bits).
+func (m *Memory) UFO(addr uint64) UFOBits {
+	return m.ufo[LineOf(addr)]
+}
+
+// SetUFO replaces the UFO bits for the line containing addr
+// (set_ufo_bits). Coherence actions are the cache layer's job.
+func (m *Memory) SetUFO(addr uint64, bits UFOBits) {
+	m.ufo[LineOf(addr)] = bits
+}
+
+// AddUFO ORs bits into the line containing addr (add_ufo_bits).
+func (m *Memory) AddUFO(addr uint64, bits UFOBits) {
+	m.ufo[LineOf(addr)] |= bits
+}
+
+// Faults reports whether an access of the given kind to addr would raise
+// a UFO fault, assuming UFO faults are enabled on the accessing thread.
+func (m *Memory) Faults(addr uint64, write bool) bool {
+	b := m.ufo[LineOf(addr)]
+	if write {
+		return b&UFOFaultOnWrite != 0
+	}
+	return b&UFOFaultOnRead != 0
+}

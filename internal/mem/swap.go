@@ -1,0 +1,91 @@
+package mem
+
+import "fmt"
+
+// Swapper models the paper's Appendix-A kernel modification: when a
+// physical page is swapped to disk, its UFO bits are saved to a side array
+// (one element per swap slot) and restored when the page is swapped back
+// in. A per-page "all bits clear" bitmap optimizes the common case where a
+// page carries no protection, which is the optimization the paper credits
+// with eliminating most of the swap-path overhead.
+type Swapper struct {
+	mem   *Memory
+	slots map[uint64]*swapSlot
+}
+
+type swapSlot struct {
+	data     [PageBytes / WordBytes]uint64
+	ufo      [PageLines]UFOBits
+	anyUFO   bool // the "all clear" bitmap entry for this page
+	ufoSaves int
+}
+
+// NewSwapper wraps a memory with swap support.
+func NewSwapper(m *Memory) *Swapper {
+	return &Swapper{mem: m, slots: make(map[uint64]*swapSlot)}
+}
+
+// SwapOut copies the page containing addr to its swap slot, saving UFO
+// bits only when any are set, then clears the resident copy (modeling the
+// frame being reused). It returns the page base address as the slot key.
+func (s *Swapper) SwapOut(addr uint64) uint64 {
+	base := addr / PageBytes * PageBytes
+	if base >= s.mem.Size() {
+		panic(fmt.Sprintf("mem: swap-out of unmapped page %#x", base))
+	}
+	slot := &swapSlot{}
+	for i := range slot.data {
+		a := base + uint64(i)*WordBytes
+		slot.data[i] = s.mem.Read64(a)
+		s.mem.Write64(a, 0)
+	}
+	for i := 0; i < PageLines; i++ {
+		a := base + uint64(i)*LineBytes
+		if b := s.mem.UFO(a); b != UFONone {
+			slot.ufo[i] = b
+			slot.anyUFO = true
+		}
+		s.mem.SetUFO(a, UFONone)
+	}
+	if slot.anyUFO {
+		slot.ufoSaves = 1
+	}
+	s.slots[base] = slot
+	return base
+}
+
+// SwapIn restores the page previously swapped out at base, including its
+// UFO bits (skipping the restore loop entirely when the all-clear bitmap
+// says the page carried none).
+func (s *Swapper) SwapIn(base uint64) {
+	slot, ok := s.slots[base]
+	if !ok {
+		panic(fmt.Sprintf("mem: swap-in of page %#x that is not swapped out", base))
+	}
+	for i := range slot.data {
+		s.mem.Write64(base+uint64(i)*WordBytes, slot.data[i])
+	}
+	if slot.anyUFO {
+		for i := 0; i < PageLines; i++ {
+			s.mem.SetUFO(base+uint64(i)*LineBytes, slot.ufo[i])
+		}
+	}
+	delete(s.slots, base)
+}
+
+// Resident reports whether the page at base is in memory (not swapped
+// out).
+func (s *Swapper) Resident(base uint64) bool {
+	_, out := s.slots[base/PageBytes*PageBytes]
+	return !out
+}
+
+// UFOSaveCount reports how many currently swapped-out pages needed their
+// UFO bits saved — the slow path the all-clear bitmap avoids.
+func (s *Swapper) UFOSaveCount() int {
+	n := 0
+	for _, slot := range s.slots {
+		n += slot.ufoSaves
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+package mem
+
+import "testing"
+
+func TestSwapRoundTripPreservesData(t *testing.T) {
+	m := New(4 * PageBytes)
+	s := NewSwapper(m)
+	for i := uint64(0); i < PageBytes/WordBytes; i++ {
+		m.Write64(PageBytes+i*WordBytes, i*3+1)
+	}
+	base := s.SwapOut(PageBytes + 128) // any address within the page
+	if base != PageBytes {
+		t.Fatalf("base = %#x, want %#x", base, PageBytes)
+	}
+	if s.Resident(PageBytes) {
+		t.Fatal("page still resident after swap-out")
+	}
+	if m.Read64(PageBytes) != 0 {
+		t.Fatal("swap-out did not clear the frame")
+	}
+	s.SwapIn(base)
+	for i := uint64(0); i < PageBytes/WordBytes; i++ {
+		if m.Read64(PageBytes+i*WordBytes) != i*3+1 {
+			t.Fatalf("word %d lost across swap", i)
+		}
+	}
+	if !s.Resident(PageBytes) {
+		t.Fatal("page not resident after swap-in")
+	}
+}
+
+func TestSwapPreservesUFOBits(t *testing.T) {
+	m := New(2 * PageBytes)
+	s := NewSwapper(m)
+	m.SetUFO(0, UFOFaultOnWrite)
+	m.SetUFO(192, UFOFaultAll)
+	base := s.SwapOut(0)
+	if m.UFO(0) != UFONone {
+		t.Fatal("frame UFO bits not cleared at swap-out")
+	}
+	s.SwapIn(base)
+	if m.UFO(0) != UFOFaultOnWrite {
+		t.Fatalf("UFO(0) = %v after swap round trip", m.UFO(0))
+	}
+	if m.UFO(192) != UFOFaultAll {
+		t.Fatalf("UFO(192) = %v after swap round trip", m.UFO(192))
+	}
+	if m.UFO(64) != UFONone {
+		t.Fatal("clear line gained UFO bits")
+	}
+}
+
+func TestSwapAllClearFastPath(t *testing.T) {
+	m := New(4 * PageBytes)
+	s := NewSwapper(m)
+	s.SwapOut(0) // no UFO bits: fast path
+	m.SetUFO(PageBytes, UFOFaultOnRead)
+	s.SwapOut(PageBytes) // has UFO bits: slow path
+	if got := s.UFOSaveCount(); got != 1 {
+		t.Fatalf("UFOSaveCount = %d, want 1 (all-clear bitmap must skip clean pages)", got)
+	}
+}
+
+func TestSwapInUnknownPagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSwapper(New(PageBytes)).SwapIn(0)
+}
+
+func TestSwapOutUnmappedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSwapper(New(PageBytes)).SwapOut(10 * PageBytes)
+}

@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// BenchmarkElapseSingleProc measures the engine's fast path (no handoff).
+func BenchmarkElapseSingleProc(b *testing.B) {
+	e := New(Config{Procs: 1, MaxSteps: 1 << 62})
+	e.Run([]func(*Proc){func(p *Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Elapse(1)
+		}
+	}})
+}
+
+// BenchmarkElapseTwoProcs measures the full scheduling handoff.
+func BenchmarkElapseTwoProcs(b *testing.B) {
+	e := New(Config{Procs: 2, MaxSteps: 1 << 62})
+	body := func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Elapse(1)
+		}
+	}
+	b.ResetTimer()
+	e.Run([]func(*Proc){body, body})
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}

@@ -1,0 +1,197 @@
+// Package sim provides a deterministic, execution-driven multiprocessor
+// simulation engine.
+//
+// Each simulated processor runs its workload on a dedicated goroutine, but
+// the engine globally serializes execution: exactly one processor goroutine
+// runs at any instant, and the engine always resumes the runnable processor
+// with the smallest local clock (ties broken by processor ID). Memory
+// operations performed by the layers above are therefore atomic at their
+// timestamp, interleavings are bit-reproducible for a given configuration,
+// and no locking is needed anywhere in the simulated machine.
+//
+// Time is measured in cycles. Workload code advances its processor's clock
+// with Proc.Elapse, which is also the engine's only scheduling point: a
+// processor that never elapses time never yields. All layers above charge
+// every modeled action (cache hits, coherence transfers, instruction
+// overhead) through Elapse.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State describes what a processor is currently doing, from the engine's
+// point of view.
+type State uint8
+
+const (
+	// Ready means the processor can be scheduled.
+	Ready State = iota
+	// Blocked means the processor is descheduled until another processor
+	// wakes it (used for transactional waiting).
+	Blocked
+	// Done means the processor's workload function returned.
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Config holds engine-wide settings.
+type Config struct {
+	// Procs is the number of simulated processors.
+	Procs int
+	// Quantum is the scheduling-timer period in cycles. Every time a
+	// processor's clock crosses a multiple of Quantum, its interrupt hook
+	// fires (modeling a timer interrupt). Zero disables timer interrupts.
+	Quantum uint64
+	// MaxSteps bounds the total number of scheduling steps before the
+	// engine panics with a livelock diagnostic. Zero selects a large
+	// default.
+	MaxSteps uint64
+}
+
+const defaultMaxSteps = 2_000_000_000
+
+// Engine owns the simulated processors and the global clock ordering.
+type Engine struct {
+	cfg      Config
+	procs    []*Proc
+	steps    uint64
+	panicked any
+}
+
+// New creates an engine with cfg.Procs processors, all at cycle 0.
+func New(cfg Config) *Engine {
+	if cfg.Procs <= 0 {
+		panic("sim: Config.Procs must be positive")
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = defaultMaxSteps
+	}
+	e := &Engine{cfg: cfg}
+	for i := 0; i < cfg.Procs; i++ {
+		e.procs = append(e.procs, &Proc{
+			id:      i,
+			eng:     e,
+			state:   Ready,
+			grant:   make(chan struct{}),
+			yield:   make(chan struct{}),
+			quantum: cfg.Quantum,
+		})
+	}
+	return e
+}
+
+// Procs returns the engine's processors in ID order.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Proc returns the processor with the given ID.
+func (e *Engine) Proc(id int) *Proc { return e.procs[id] }
+
+// Run executes one workload function per processor and returns when every
+// workload has returned. Workload i runs on processor i; len(workloads)
+// must equal the processor count. Run panics (with a state dump) if all
+// unfinished processors are blocked, which would otherwise deadlock, or if
+// the step budget is exhausted, which indicates livelock.
+func (e *Engine) Run(workloads []func(*Proc)) {
+	if len(workloads) != len(e.procs) {
+		panic(fmt.Sprintf("sim: %d workloads for %d processors", len(workloads), len(e.procs)))
+	}
+	for i, w := range workloads {
+		p, body := e.procs[i], w
+		go func() {
+			defer func() {
+				// Workload panics are captured and re-raised from Run so
+				// that callers (and tests) observe them on their own
+				// goroutine.
+				if r := recover(); r != nil && e.panicked == nil {
+					e.panicked = r
+				}
+				p.state = Done
+				p.yield <- struct{}{}
+			}()
+			<-p.grant
+			body(p)
+		}()
+	}
+	for {
+		p := e.pick()
+		if p == nil {
+			if e.panicked != nil {
+				panic(e.panicked)
+			}
+			return
+		}
+		e.steps++
+		if e.steps > e.cfg.MaxSteps {
+			panic("sim: step budget exhausted (livelock?)\n" + e.dump())
+		}
+		p.grant <- struct{}{}
+		<-p.yield
+		if e.panicked != nil && p.state == Done {
+			panic(e.panicked)
+		}
+	}
+}
+
+// pick returns the ready processor with the smallest clock (ties broken by
+// ID), nil if every processor is done, and panics on deadlock.
+func (e *Engine) pick() *Proc {
+	var best *Proc
+	allDone := true
+	for _, p := range e.procs {
+		if p.state != Done {
+			allDone = false
+		}
+		if p.state != Ready {
+			continue
+		}
+		if best == nil || p.now < best.now {
+			best = p
+		}
+	}
+	if best == nil {
+		if allDone {
+			return nil
+		}
+		panic("sim: deadlock — all unfinished processors are blocked\n" + e.dump())
+	}
+	return best
+}
+
+// Now returns the maximum clock across all processors: the simulated
+// duration of the run so far.
+func (e *Engine) Now() uint64 {
+	var max uint64
+	for _, p := range e.procs {
+		if p.now > max {
+			max = p.now
+		}
+	}
+	return max
+}
+
+// Steps reports how many scheduling steps the engine has performed.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+func (e *Engine) dump() string {
+	var b strings.Builder
+	ps := append([]*Proc(nil), e.procs...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
+	for _, p := range ps {
+		fmt.Fprintf(&b, "  proc %d: %s at cycle %d (%s)\n", p.id, p.state, p.now, p.note)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package sim
+
+import "fmt"
+
+// Proc is one simulated processor. All methods must be called from the
+// workload goroutine that the engine started for this processor (except
+// Wake, which is called by whichever processor is currently running).
+type Proc struct {
+	id    int
+	eng   *Engine
+	now   uint64
+	state State
+	note  string // diagnostic label shown in deadlock/livelock dumps
+
+	grant chan struct{}
+	yield chan struct{}
+
+	quantum      uint64
+	nextQuantum  uint64
+	interruptFns []func()
+	fastSkips    uint32
+}
+
+// ID returns the processor number.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the processor's local clock in cycles.
+func (p *Proc) Now() uint64 { return p.now }
+
+// SetNote attaches a diagnostic label that appears in engine state dumps.
+func (p *Proc) SetNote(format string, args ...any) {
+	p.note = fmt.Sprintf(format, args...)
+}
+
+// OnInterrupt registers fn to run (on the workload goroutine, during
+// Elapse) every time this processor's clock crosses a scheduling-quantum
+// boundary. The TM layers use this to model timer-interrupt aborts.
+func (p *Proc) OnInterrupt(fn func()) {
+	p.interruptFns = append(p.interruptFns, fn)
+}
+
+// Elapse advances the local clock by cycles and yields to the engine so a
+// processor with a smaller clock can run. It fires timer-interrupt hooks
+// for every quantum boundary crossed.
+func (p *Proc) Elapse(cycles uint64) {
+	p.now += cycles
+	if p.quantum > 0 {
+		if p.nextQuantum == 0 {
+			p.nextQuantum = p.quantum
+		}
+		for p.now >= p.nextQuantum {
+			p.nextQuantum += p.quantum
+			for _, fn := range p.interruptFns {
+				fn()
+			}
+		}
+	}
+	p.reschedule()
+}
+
+// Block deschedules the processor until another processor calls Wake. The
+// caller resumes inside Block once woken; no cycles elapse while blocked
+// (the waker's Wake advances the sleeper's clock to the wake time).
+func (p *Proc) Block() {
+	p.state = Blocked
+	p.reschedule()
+}
+
+// Wake makes a blocked processor runnable again, advancing its clock to
+// the waker's current time (it cannot resume in the past). Waking a
+// processor that is not blocked is a no-op, so wakeups can race benignly
+// with the sleeper deciding to block.
+func (p *Proc) Wake(target *Proc) {
+	if target.state != Blocked {
+		return
+	}
+	target.state = Ready
+	if target.now < p.now {
+		target.now = p.now
+	}
+}
+
+// reschedule hands control back to the engine unless this processor would
+// be scheduled next anyway (a pure-performance fast path that preserves
+// the engine's scheduling order exactly: we skip the handoff only when no
+// other ready processor precedes us in the engine's ordering).
+func (p *Proc) reschedule() {
+	if p.state == Ready && !p.otherReadyFirst() {
+		// Yield to the engine occasionally anyway so the livelock
+		// watchdog keeps counting while a lone processor spins.
+		p.fastSkips++
+		if p.fastSkips&1023 != 0 {
+			return
+		}
+	}
+	p.yield <- struct{}{}
+	<-p.grant
+}
+
+func (p *Proc) otherReadyFirst() bool {
+	for _, q := range p.eng.procs {
+		if q == p || q.state != Ready {
+			continue
+		}
+		if q.now < p.now || (q.now == p.now && q.id < p.id) {
+			return true
+		}
+	}
+	return false
+}

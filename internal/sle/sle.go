@@ -1,0 +1,193 @@
+// Package sle implements speculative lock elision on top of BTM — the
+// paper's point that its hardware-atomicity primitive is useful beyond
+// transactional memory (Section 3.1, citing Rajwar/Goodman): lock-based
+// critical sections execute as hardware transactions that merely *read*
+// the lock word, so disjoint critical sections under the same lock run
+// concurrently; on repeated aborts the lock is acquired for real.
+package sle
+
+import (
+	"repro/internal/btm"
+	"repro/internal/machine"
+	"repro/internal/tm"
+)
+
+// Mem is the accessor handed to critical-section bodies (identical shape
+// to txlib.Mem, so the shared data structures work under elision too).
+type Mem interface {
+	Load(addr uint64) uint64
+	Store(addr, val uint64)
+}
+
+// Manager owns the elidable locks of one machine.
+type Manager struct {
+	m *machine.Machine
+	// MaxAttempts is how many elision attempts precede falling back to
+	// real acquisition.
+	MaxAttempts int
+	// BackoffBase is the exponential backoff unit between attempts.
+	BackoffBase uint64
+	// SpinCycles is the poll interval when waiting for a held lock.
+	SpinCycles uint64
+
+	stats Stats
+	locks map[uint64]*lockState
+}
+
+// Stats counts elision outcomes.
+type Stats struct {
+	Elided    uint64 // critical sections completed speculatively
+	Acquired  uint64 // critical sections that fell back to the real lock
+	Aborts    uint64 // speculative attempts that failed
+	LockWaits uint64 // spins on a held lock
+}
+
+type lockState struct {
+	addr uint64
+	held bool
+}
+
+// New creates a manager.
+func New(m *machine.Machine) *Manager {
+	return &Manager{
+		m:           m,
+		MaxAttempts: 3,
+		BackoffBase: 64,
+		SpinCycles:  40,
+		locks:       make(map[uint64]*lockState),
+	}
+}
+
+// Stats returns the elision counters.
+func (mgr *Manager) Stats() *Stats { return &mgr.stats }
+
+// NewLock allocates an elidable lock (one simulated line).
+func (mgr *Manager) NewLock() Lock {
+	addr := mgr.m.Mem.Sbrk(64)
+	mgr.locks[addr] = &lockState{addr: addr}
+	return Lock{addr: addr}
+}
+
+// Lock names an elidable lock.
+type Lock struct {
+	addr uint64
+}
+
+// Exec is the per-processor elision context.
+type Exec struct {
+	mgr *Manager
+	u   *btm.Unit
+	p   *machine.Proc
+}
+
+// Exec returns the context for one processor.
+func (mgr *Manager) Exec(p *machine.Proc) *Exec {
+	return &Exec{mgr: mgr, u: btm.New(p), p: p}
+}
+
+// Critical runs body under l, speculatively when possible. The body
+// accesses shared data only through the provided accessor and must be
+// safe to re-execute (attempts can abort).
+func (e *Exec) Critical(l Lock, body func(Mem)) {
+	st := e.mgr.locks[l.addr]
+	for attempt := 0; attempt < e.mgr.MaxAttempts; attempt++ {
+		if e.tryElide(st, body) {
+			e.mgr.stats.Elided++
+			return
+		}
+		e.mgr.stats.Aborts++
+		backoff := e.mgr.BackoffBase << uint(attempt)
+		backoff += uint64(e.p.Rand().Intn(int(e.mgr.BackoffBase)))
+		e.p.Elapse(backoff)
+	}
+	// Fall back: take the lock for real. The write to the lock word
+	// aborts every concurrent elider (their speculative read of the word
+	// conflicts), which is exactly SLE's correctness argument.
+	e.acquire(st)
+	func() {
+		defer e.release(st)
+		body(direct{e.p})
+	}()
+	e.mgr.stats.Acquired++
+}
+
+// tryElide attempts the critical section as a hardware transaction.
+func (e *Exec) tryElide(st *lockState, body func(Mem)) bool {
+	e.u.Begin(e.mgr.m.NextAge())
+	_, _, aborted := tm.Catch(func() {
+		// Speculatively read the lock word: it must be free, and it
+		// joins the read set so a real acquisition kills this attempt.
+		v, out := e.u.Load(st.addr)
+		if out.Kind == machine.HWAborted {
+			tm.Unwind(out.Reason)
+		}
+		check(out)
+		if v != 0 {
+			e.u.Abort(machine.AbortExplicit)
+			tm.Unwind(machine.AbortExplicit)
+		}
+		body(speculative{e})
+	})
+	if aborted {
+		return false
+	}
+	return e.u.End().Kind == machine.OK
+}
+
+func (e *Exec) acquire(st *lockState) {
+	for {
+		_, out := e.p.NTRead(st.addr)
+		check(out)
+		if !st.held {
+			st.held = true
+			check(e.p.NTWrite(st.addr, 1))
+			return
+		}
+		e.mgr.stats.LockWaits++
+		e.p.Elapse(e.mgr.SpinCycles)
+	}
+}
+
+func (e *Exec) release(st *lockState) {
+	st.held = false
+	check(e.p.NTWrite(st.addr, 0))
+}
+
+// speculative routes body accesses through the hardware transaction.
+type speculative struct{ e *Exec }
+
+func (s speculative) Load(addr uint64) uint64 {
+	v, out := s.e.u.Load(addr)
+	if out.Kind == machine.HWAborted {
+		tm.Unwind(out.Reason)
+	}
+	check(out)
+	return v
+}
+
+func (s speculative) Store(addr, val uint64) {
+	out := s.e.u.Store(addr, val)
+	if out.Kind == machine.HWAborted {
+		tm.Unwind(out.Reason)
+	}
+	check(out)
+}
+
+// direct routes body accesses straight to memory (lock held).
+type direct struct{ p *machine.Proc }
+
+func (d direct) Load(addr uint64) uint64 {
+	v, out := d.p.NTRead(addr)
+	check(out)
+	return v
+}
+
+func (d direct) Store(addr, val uint64) {
+	check(d.p.NTWrite(addr, val))
+}
+
+func check(out machine.Outcome) {
+	if out.Kind != machine.OK {
+		panic("sle: unexpected outcome " + out.Kind.String())
+	}
+}

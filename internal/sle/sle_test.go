@@ -1,0 +1,138 @@
+package sle
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func testMachine(procs int) *machine.Machine {
+	p := machine.DefaultParams(procs)
+	p.MemBytes = 1 << 22
+	p.Quantum = 0
+	p.MaxSteps = 20_000_000
+	return machine.New(p)
+}
+
+func TestDisjointCriticalSectionsRunConcurrently(t *testing.T) {
+	// Four threads, one lock, disjoint data: with elision the lock never
+	// serializes them, so the elapsed time is far below 4× the serial
+	// critical-section time.
+	m := testMachine(4)
+	mgr := New(m)
+	l := mgr.NewLock()
+	base := m.Mem.Sbrk(4 * 64)
+	var ws []func(*machine.Proc)
+	for i := 0; i < 4; i++ {
+		e := mgr.Exec(m.Proc(i))
+		mine := base + uint64(i)*64
+		ws = append(ws, func(p *machine.Proc) {
+			for n := 0; n < 25; n++ {
+				e.Critical(l, func(mem Mem) {
+					mem.Store(mine, mem.Load(mine)+1)
+					p.Elapse(200)
+				})
+			}
+		})
+	}
+	m.Run(ws)
+	for i := uint64(0); i < 4; i++ {
+		if got := m.Mem.Read64(base + i*64); got != 25 {
+			t.Fatalf("slot %d = %d, want 25", i, got)
+		}
+	}
+	st := mgr.Stats()
+	if st.Elided != 100 || st.Acquired != 0 {
+		t.Fatalf("stats = %+v: disjoint sections must all elide", st)
+	}
+	// 100 sections of ≥200 cycles serialized would exceed 20k cycles;
+	// concurrent execution should be well under half that.
+	if m.Cycles() > 12_000 {
+		t.Fatalf("elapsed %d cycles: elision did not overlap the sections", m.Cycles())
+	}
+}
+
+func TestConflictingSectionsStayCorrect(t *testing.T) {
+	m := testMachine(4)
+	mgr := New(m)
+	l := mgr.NewLock()
+	var ws []func(*machine.Proc)
+	for i := 0; i < 4; i++ {
+		e := mgr.Exec(m.Proc(i))
+		ws = append(ws, func(p *machine.Proc) {
+			for n := 0; n < 25; n++ {
+				e.Critical(l, func(mem Mem) {
+					mem.Store(0, mem.Load(0)+1)
+				})
+				p.Elapse(uint64(10 + p.Rand().Intn(60)))
+			}
+		})
+	}
+	m.Run(ws)
+	if got := m.Mem.Read64(0); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+}
+
+func TestFallbackAcquiresLock(t *testing.T) {
+	// A persistently conflicting pair with zero backoff room forces at
+	// least some sections to the real lock; the counter must stay exact.
+	m := testMachine(2)
+	mgr := New(m)
+	mgr.MaxAttempts = 1 // fall back after a single failed attempt
+	l := mgr.NewLock()
+	var ws []func(*machine.Proc)
+	for i := 0; i < 2; i++ {
+		e := mgr.Exec(m.Proc(i))
+		ws = append(ws, func(p *machine.Proc) {
+			for n := 0; n < 30; n++ {
+				e.Critical(l, func(mem Mem) {
+					mem.Store(0, mem.Load(0)+1)
+					p.Elapse(150) // widen the conflict window
+				})
+			}
+		})
+	}
+	m.Run(ws)
+	if got := m.Mem.Read64(0); got != 60 {
+		t.Fatalf("counter = %d, want 60", got)
+	}
+	if mgr.Stats().Acquired == 0 {
+		t.Fatal("expected some real acquisitions under persistent conflict")
+	}
+}
+
+func TestRealAcquisitionAbortsEliders(t *testing.T) {
+	m := testMachine(2)
+	mgr := New(m)
+	l := mgr.NewLock()
+	st := mgr.locks[l.addr]
+	var sawLockHeld bool
+	e0 := mgr.Exec(m.Proc(0))
+	e1 := mgr.Exec(m.Proc(1))
+	m.Run([]func(*machine.Proc){
+		func(p *machine.Proc) {
+			e0.Critical(l, func(mem Mem) {
+				mem.Store(0, 1)
+				p.Elapse(5_000) // long speculative section
+			})
+		},
+		func(p *machine.Proc) {
+			p.Elapse(500)
+			// Take the lock for real mid-speculation.
+			e1.acquire(st)
+			sawLockHeld = true
+			p.Elapse(1_000)
+			e1.release(st)
+		},
+	})
+	if !sawLockHeld {
+		t.Fatal("locker never ran")
+	}
+	if mgr.Stats().Aborts == 0 {
+		t.Fatal("real acquisition must abort the concurrent elider")
+	}
+	if m.Mem.Read64(0) != 1 {
+		t.Fatal("critical section lost")
+	}
+}

@@ -1,0 +1,282 @@
+package stamp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/seq"
+	"repro/internal/tm"
+	"repro/internal/ustm"
+)
+
+func testMachine(procs int) *machine.Machine {
+	p := machine.DefaultParams(procs)
+	p.MemBytes = 1 << 26
+	p.MaxSteps = 100_000_000
+	return machine.New(p)
+}
+
+// runOn executes a workload on the given system factory and validates.
+func runOn(t *testing.T, wl Workload, threads int, mkSys func(*machine.Machine) tm.System) {
+	t.Helper()
+	m := testMachine(threads)
+	sys := mkSys(m)
+	wl.Init(m, threads)
+	bodies := make([]func(*machine.Proc), threads)
+	for i := 0; i < threads; i++ {
+		ex := sys.Exec(m.Proc(i))
+		tid := i
+		bodies[i] = func(*machine.Proc) { wl.Thread(tid, ex) }
+	}
+	m.Run(bodies)
+	if err := wl.Validate(m); err != nil {
+		t.Fatalf("validation on %s: %v", sys.Name(), err)
+	}
+}
+
+func hybridSys(m *machine.Machine) tm.System {
+	cfg := ustm.DefaultConfig()
+	cfg.OTableRows = 1 << 13
+	return core.New(m, cfg, core.DefaultPolicy())
+}
+
+func stmSys(m *machine.Machine) tm.System {
+	cfg := ustm.DefaultConfig()
+	cfg.OTableRows = 1 << 13
+	return ustm.New(m, cfg)
+}
+
+func lockSys(m *machine.Machine) tm.System { return seq.New(m, seq.GlobalLock) }
+
+func TestKMeansHighOnHybrid(t *testing.T) {
+	runOn(t, KMeansHigh(200), 4, hybridSys)
+}
+
+func TestKMeansLowOnSTM(t *testing.T) {
+	runOn(t, KMeansLow(200), 2, stmSys)
+}
+
+func TestKMeansSingleThread(t *testing.T) {
+	runOn(t, KMeansHigh(100), 1, lockSys)
+}
+
+func TestKMeansMultipleIterations(t *testing.T) {
+	k := KMeansHigh(80)
+	k.Iterations = 3
+	runOn(t, k, 2, hybridSys)
+}
+
+func TestVacationHighOnHybrid(t *testing.T) {
+	runOn(t, VacationHigh(128, 20), 4, hybridSys)
+}
+
+func TestVacationLowOnSTM(t *testing.T) {
+	runOn(t, VacationLow(128, 15), 2, stmSys)
+}
+
+func TestVacationOnLock(t *testing.T) {
+	runOn(t, VacationHigh(96, 15), 2, lockSys)
+}
+
+func TestVacationNames(t *testing.T) {
+	if VacationHigh(10, 1).Name() != "vacation-high" || VacationLow(10, 1).Name() != "vacation-low" {
+		t.Fatal("vacation names wrong")
+	}
+}
+
+func TestGenomeOnHybrid(t *testing.T) {
+	runOn(t, NewGenome(150), 4, hybridSys)
+}
+
+func TestGenomeOnSTM(t *testing.T) {
+	runOn(t, NewGenome(120), 2, stmSys)
+}
+
+func TestGenomeSingleThread(t *testing.T) {
+	runOn(t, NewGenome(100), 1, hybridSys)
+}
+
+func TestFailoverWorkload(t *testing.T) {
+	for _, rate := range []int{0, 50, 100} {
+		runOn(t, NewFailover(25, rate), 3, hybridSys)
+	}
+}
+
+func TestFailoverForcesSoftware(t *testing.T) {
+	m := testMachine(2)
+	sys := hybridSys(m)
+	wl := NewFailover(30, 100) // every transaction forced to software
+	wl.Init(m, 2)
+	bodies := make([]func(*machine.Proc), 2)
+	for i := 0; i < 2; i++ {
+		ex := sys.Exec(m.Proc(i))
+		tid := i
+		bodies[i] = func(*machine.Proc) { wl.Thread(tid, ex) }
+	}
+	m.Run(bodies)
+	st := sys.Stats()
+	if st.SWCommits != 60 || st.HWCommits != 0 {
+		t.Fatalf("stats = %v: 100%% rate must run everything in software", st)
+	}
+	if err := wl.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansNames(t *testing.T) {
+	if KMeansHigh(10).Name() != "kmeans-high" || KMeansLow(10).Name() != "kmeans-low" {
+		t.Fatal("kmeans names wrong")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	m := testMachine(3)
+	sys := hybridSys(m)
+	b := NewBarrier(m, 3)
+	arrivals := make([]uint64, 3)
+	departures := make([]uint64, 3)
+	var bodies []func(*machine.Proc)
+	for i := 0; i < 3; i++ {
+		ex := sys.Exec(m.Proc(i))
+		tid := i
+		bodies = append(bodies, func(p *machine.Proc) {
+			p.Elapse(uint64(1000 * (tid + 1))) // stagger arrivals
+			arrivals[tid] = p.Now()
+			b.Wait(ex)
+			departures[tid] = p.Now()
+		})
+	}
+	m.Run(bodies)
+	var lastArrival uint64
+	for _, a := range arrivals {
+		if a > lastArrival {
+			lastArrival = a
+		}
+	}
+	for i, d := range departures {
+		if d < lastArrival {
+			t.Fatalf("thread %d departed at %d before last arrival %d", i, d, lastArrival)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	m := testMachine(2)
+	sys := hybridSys(m)
+	b := NewBarrier(m, 2)
+	var bodies []func(*machine.Proc)
+	for i := 0; i < 2; i++ {
+		ex := sys.Exec(m.Proc(i))
+		tid := i
+		bodies = append(bodies, func(p *machine.Proc) {
+			for round := 0; round < 5; round++ {
+				p.Elapse(uint64(100 * (tid + 1)))
+				b.Wait(ex)
+			}
+		})
+	}
+	m.Run(bodies) // completing at all proves generations advance
+}
+
+func TestSplitCoversAllWork(t *testing.T) {
+	for _, total := range []int{1, 7, 100} {
+		for _, threads := range []int{1, 3, 8} {
+			covered := 0
+			prevHi := 0
+			for i := 0; i < threads; i++ {
+				lo, hi := split(total, threads, i)
+				if lo != prevHi {
+					t.Fatalf("split gap at thread %d", i)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != total || prevHi != total {
+				t.Fatalf("split(%d,%d) covered %d", total, threads, covered)
+			}
+		}
+	}
+}
+
+func TestSSCA2OnHybrid(t *testing.T) {
+	runOn(t, NewSSCA2(64, 400), 4, hybridSys)
+}
+
+func TestSSCA2OnSTM(t *testing.T) {
+	runOn(t, NewSSCA2(48, 200), 2, stmSys)
+}
+
+func TestSSCA2ScalesWell(t *testing.T) {
+	// The "small txs, low contention" workload: 4 threads on the hybrid
+	// should get a real speedup over 1 thread.
+	cycles := func(threads int) uint64 {
+		m := testMachine(threads)
+		sys := hybridSys(m)
+		wl := NewSSCA2(96, 600)
+		wl.Init(m, threads)
+		bodies := make([]func(*machine.Proc), threads)
+		for i := 0; i < threads; i++ {
+			ex := sys.Exec(m.Proc(i))
+			tid := i
+			bodies[i] = func(*machine.Proc) { wl.Thread(tid, ex) }
+		}
+		m.Run(bodies)
+		if err := wl.Validate(m); err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles()
+	}
+	one, four := cycles(1), cycles(4)
+	if speedup := float64(one) / float64(four); speedup < 2.5 {
+		t.Fatalf("ssca2 speedup at 4 threads = %.2f, want ≥2.5", speedup)
+	}
+}
+
+func TestIntruderOnHybrid(t *testing.T) {
+	runOn(t, NewIntruder(24, 4), 4, hybridSys)
+}
+
+func TestIntruderOnSTM(t *testing.T) {
+	runOn(t, NewIntruder(16, 3), 2, stmSys)
+}
+
+func TestIntruderOnLock(t *testing.T) {
+	runOn(t, NewIntruder(16, 4), 2, lockSys)
+}
+
+func TestLabyrinthOnHybrid(t *testing.T) {
+	runOn(t, NewLabyrinth(24, 24, 4), 4, hybridSys)
+}
+
+func TestLabyrinthMostlyFailsOver(t *testing.T) {
+	// Routes of ~96 lines overwhelm a shrunken L1: nearly every claim
+	// must run in software.
+	params := machine.DefaultParams(2)
+	params.MemBytes = 1 << 26
+	params.L1Bytes = 4 * 1024
+	params.L1Ways = 2
+	params.MaxSteps = 100_000_000
+	m := machine.New(params)
+	sys := hybridSys(m)
+	wl := NewLabyrinth(32, 32, 5)
+	wl.Init(m, 2)
+	bodies := make([]func(*machine.Proc), 2)
+	for i := 0; i < 2; i++ {
+		ex := sys.Exec(m.Proc(i))
+		tid := i
+		bodies[i] = func(*machine.Proc) { wl.Thread(tid, ex) }
+	}
+	m.Run(bodies)
+	if err := wl.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.SWCommits < st.HWCommits {
+		t.Fatalf("stats = %v: labyrinth claims should mostly run in software", st)
+	}
+}
+
+func TestLabyrinthOnSTM(t *testing.T) {
+	runOn(t, NewLabyrinth(20, 20, 3), 2, stmSys)
+}

@@ -1,0 +1,67 @@
+package tm
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestCatchNoAbort(t *testing.T) {
+	reason, retry, aborted := Catch(func() {})
+	if aborted || retry || reason != machine.AbortNone {
+		t.Fatalf("clean run reported %v/%v/%v", reason, retry, aborted)
+	}
+}
+
+func TestCatchUnwind(t *testing.T) {
+	reason, retry, aborted := Catch(func() { Unwind(machine.AbortConflict) })
+	if !aborted || retry || reason != machine.AbortConflict {
+		t.Fatalf("got %v/%v/%v", reason, retry, aborted)
+	}
+}
+
+func TestCatchRetry(t *testing.T) {
+	_, retry, aborted := Catch(func() { UnwindRetry() })
+	if !aborted || !retry {
+		t.Fatal("retry unwind not caught")
+	}
+}
+
+func TestCatchPropagatesForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Catch(func() { panic("boom") })
+}
+
+func TestCatchNested(t *testing.T) {
+	// An inner Catch must not swallow an outer body's unwind twice.
+	reason, _, aborted := Catch(func() {
+		r, _, a := Catch(func() { Unwind(machine.AbortOverflow) })
+		if !a || r != machine.AbortOverflow {
+			t.Fatal("inner catch failed")
+		}
+		Unwind(machine.AbortSyscall)
+	})
+	if !aborted || reason != machine.AbortSyscall {
+		t.Fatalf("outer catch got %v/%v", reason, aborted)
+	}
+}
+
+func TestStatsAddAndCommits(t *testing.T) {
+	a := Stats{HWCommits: 1, SWCommits: 2, Failovers: 3, SWAborts: 4, SWStalls: 5, NTStalls: 6, Retries: 7, HWRetries: 8}
+	b := a
+	a.Add(&b)
+	if a.HWCommits != 2 || a.SWCommits != 4 || a.Failovers != 6 || a.SWAborts != 8 ||
+		a.SWStalls != 10 || a.NTStalls != 12 || a.Retries != 14 || a.HWRetries != 16 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if a.Commits() != 6 {
+		t.Fatalf("Commits = %d, want 6", a.Commits())
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,53 @@
+package txlib
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func benchSetup(b *testing.B) (Direct, *Arena) {
+	p := machine.DefaultParams(1)
+	p.MemBytes = 1 << 26
+	m := machine.New(p)
+	return Direct{M: m}, NewArena(m, nil, 1<<24)
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	d, a := benchSetup(b)
+	tr := NewTree(d, a)
+	r := sim.NewRand(1)
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		tr.Insert(d, a, keys[i], 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(d, keys[i%len(keys)])
+	}
+}
+
+func BenchmarkHashInsert(b *testing.B) {
+	d, a := benchSetup(b)
+	h := NewHash(d, a, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(d, a, uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkListInsertSorted(b *testing.B) {
+	d, a := benchSetup(b)
+	l := NewList(d, a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(d, a, uint64(i), 0) // append at tail: worst-case walk
+		if i == 511 {
+			b.StopTimer()
+			l = NewList(d, a) // bound the walk; keep the bench honest
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package txlib
+
+// Tree is an unbalanced binary search tree mapping uint64 keys to uint64
+// values — the stand-in for STAMP's red-black trees in vacation (with
+// randomized insertion order the expected depth is O(log n), preserving
+// the paper-relevant property: per-operation transactional footprints of
+// a few dozen lines). Node layout (one line per node):
+//
+//	word 0: key
+//	word 1: value
+//	word 2: left-child address
+//	word 3: right-child address
+//
+// The root pointer lives in its own cell so that root changes are
+// transactional like any other link update.
+type Tree struct {
+	rootCell uint64 // address of the cell holding the root node address
+}
+
+const (
+	treeKey   = 0
+	treeVal   = 8
+	treeLeft  = 16
+	treeRight = 24
+)
+
+// NewTree allocates an empty tree.
+func NewTree(via Mem, a *Arena) Tree {
+	cell := a.Alloc(8)
+	via.Store(cell, 0)
+	return Tree{rootCell: cell}
+}
+
+// TreeAt adopts an existing tree by its root-cell address.
+func TreeAt(rootCell uint64) Tree { return Tree{rootCell: rootCell} }
+
+// RootCell returns the root-cell address (for embedding).
+func (t Tree) RootCell() uint64 { return t.rootCell }
+
+// Insert adds key→val; it returns false if key exists.
+func (t Tree) Insert(via Mem, a *Arena, key, val uint64) bool {
+	cell := t.rootCell
+	for {
+		n := via.Load(cell)
+		if n == 0 {
+			node := a.Alloc(32)
+			via.Store(node+treeKey, key)
+			via.Store(node+treeVal, val)
+			via.Store(node+treeLeft, 0)
+			via.Store(node+treeRight, 0)
+			via.Store(cell, node)
+			return true
+		}
+		k := via.Load(n + treeKey)
+		switch {
+		case key == k:
+			return false
+		case key < k:
+			cell = n + treeLeft
+		default:
+			cell = n + treeRight
+		}
+	}
+}
+
+// Get returns the value for key.
+func (t Tree) Get(via Mem, key uint64) (uint64, bool) {
+	n := via.Load(t.rootCell)
+	for n != 0 {
+		k := via.Load(n + treeKey)
+		switch {
+		case key == k:
+			return via.Load(n + treeVal), true
+		case key < k:
+			n = via.Load(n + treeLeft)
+		default:
+			n = via.Load(n + treeRight)
+		}
+	}
+	return 0, false
+}
+
+// Set updates the value for an existing key, or inserts it.
+func (t Tree) Set(via Mem, a *Arena, key, val uint64) {
+	cell := t.rootCell
+	for {
+		n := via.Load(cell)
+		if n == 0 {
+			t.insertAt(via, a, cell, key, val)
+			return
+		}
+		k := via.Load(n + treeKey)
+		switch {
+		case key == k:
+			via.Store(n+treeVal, val)
+			return
+		case key < k:
+			cell = n + treeLeft
+		default:
+			cell = n + treeRight
+		}
+	}
+}
+
+func (t Tree) insertAt(via Mem, a *Arena, cell, key, val uint64) {
+	node := a.Alloc(32)
+	via.Store(node+treeKey, key)
+	via.Store(node+treeVal, val)
+	via.Store(node+treeLeft, 0)
+	via.Store(node+treeRight, 0)
+	via.Store(cell, node)
+}
+
+// Delete removes key, reporting whether it was present. Two-child nodes
+// are replaced by their in-order successor, as in the textbook algorithm.
+func (t Tree) Delete(via Mem, key uint64) bool {
+	cell := t.rootCell
+	for {
+		n := via.Load(cell)
+		if n == 0 {
+			return false
+		}
+		k := via.Load(n + treeKey)
+		switch {
+		case key < k:
+			cell = n + treeLeft
+		case key > k:
+			cell = n + treeRight
+		default:
+			t.unlink(via, cell, n)
+			return true
+		}
+	}
+}
+
+func (t Tree) unlink(via Mem, cell, n uint64) {
+	left := via.Load(n + treeLeft)
+	right := via.Load(n + treeRight)
+	switch {
+	case left == 0:
+		via.Store(cell, right)
+	case right == 0:
+		via.Store(cell, left)
+	default:
+		// Find the in-order successor (leftmost of the right subtree),
+		// splice it out, and move its payload into n.
+		scell := n + treeRight
+		s := via.Load(scell)
+		for {
+			l := via.Load(s + treeLeft)
+			if l == 0 {
+				break
+			}
+			scell = s + treeLeft
+			s = l
+		}
+		via.Store(n+treeKey, via.Load(s+treeKey))
+		via.Store(n+treeVal, via.Load(s+treeVal))
+		via.Store(scell, via.Load(s+treeRight))
+	}
+}
+
+// Max returns the largest key.
+func (t Tree) Max(via Mem) (key, val uint64, ok bool) {
+	n := via.Load(t.rootCell)
+	if n == 0 {
+		return 0, 0, false
+	}
+	for {
+		r := via.Load(n + treeRight)
+		if r == 0 {
+			return via.Load(n + treeKey), via.Load(n + treeVal), true
+		}
+		n = r
+	}
+}
+
+// Len counts nodes (validation only).
+func (t Tree) Len(via Mem) int {
+	return t.count(via, via.Load(t.rootCell))
+}
+
+func (t Tree) count(via Mem, n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	return 1 + t.count(via, via.Load(n+treeLeft)) + t.count(via, via.Load(n+treeRight))
+}
+
+// Depth returns the tree height (validation/diagnostics).
+func (t Tree) Depth(via Mem) int {
+	return t.depth(via, via.Load(t.rootCell))
+}
+
+func (t Tree) depth(via Mem, n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	l := t.depth(via, via.Load(n+treeLeft))
+	r := t.depth(via, via.Load(n+treeRight))
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// ForEach visits every pair in key order (validation only; recursive).
+func (t Tree) ForEach(via Mem, f func(key, val uint64)) {
+	t.walk(via, via.Load(t.rootCell), f)
+}
+
+func (t Tree) walk(via Mem, n uint64, f func(key, val uint64)) {
+	if n == 0 {
+		return
+	}
+	t.walk(via, via.Load(n+treeLeft), f)
+	f(via.Load(n+treeKey), via.Load(n+treeVal))
+	t.walk(via, via.Load(n+treeRight), f)
+}

@@ -1,0 +1,161 @@
+// Package unbounded implements the idealized unbounded hardware TM the
+// paper compares against (Section 5): the BTM execution model with no
+// footprint limit, flash abort, and a minimal abort handler that retries
+// every transaction in hardware (resolving page faults and interrupts by
+// re-execution). As in the paper, this is optimistic with respect to any
+// buildable pure-HTM proposal; it serves as the performance ceiling.
+package unbounded
+
+import (
+	"repro/internal/btm"
+	"repro/internal/machine"
+	"repro/internal/tm"
+)
+
+// System is the unbounded HTM. It implements tm.System.
+type System struct {
+	m     *machine.Machine
+	stats tm.Stats
+	// BackoffBase is the exponential-backoff unit for contention retries.
+	BackoffBase uint64
+}
+
+// New builds the system.
+func New(m *machine.Machine) *System {
+	return &System{m: m, BackoffBase: 64}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "unbounded-htm" }
+
+// Stats implements tm.System.
+func (s *System) Stats() *tm.Stats { return &s.stats }
+
+// Exec implements tm.System.
+func (s *System) Exec(p *machine.Proc) tm.Exec {
+	return &exec{s: s, u: btm.NewUnbounded(p)}
+}
+
+type exec struct {
+	s        *System
+	u        *btm.Unit
+	onCommit []func()
+}
+
+var _ tm.Exec = (*exec)(nil)
+
+func (e *exec) Proc() *machine.Proc { return e.u.Proc() }
+
+// Load and Store are plain accesses: a pure HTM installs no protection,
+// and its strong atomicity comes from coherence.
+func (e *exec) Load(addr uint64) uint64 {
+	v, out := e.Proc().NTRead(addr)
+	if out.Kind != machine.OK {
+		panic("unbounded: non-transactional read outcome " + out.Kind.String())
+	}
+	return v
+}
+
+func (e *exec) Store(addr, val uint64) {
+	if out := e.Proc().NTWrite(addr, val); out.Kind != machine.OK {
+		panic("unbounded: non-transactional write outcome " + out.Kind.String())
+	}
+}
+
+// Atomic retries in hardware until commit — the defining property (and
+// hardware burden) of an unbounded HTM.
+func (e *exec) Atomic(body func(tm.Tx)) {
+	age := e.s.m.NextAge()
+	aborts := 0
+	for {
+		e.onCommit = e.onCommit[:0]
+		e.u.Begin(age)
+		reason, retryReq, aborted := tm.Catch(func() { body(hwTx{e}) })
+		if !aborted {
+			out := e.u.End()
+			if out.Kind == machine.OK {
+				e.s.stats.HWCommits++
+				for _, f := range e.onCommit {
+					f()
+				}
+				return
+			}
+			reason = out.Reason
+		}
+		_ = reason
+		if retryReq {
+			// No software fallback exists: emulate transactional waiting
+			// by polling re-execution with a long backoff.
+			e.s.stats.Retries++
+			e.Proc().Elapse(2000)
+			continue
+		}
+		if aborts < 7 {
+			aborts++
+		}
+		e.s.stats.HWRetries++
+		backoff := e.s.BackoffBase << uint(aborts)
+		backoff += uint64(e.Proc().Rand().Intn(int(e.s.BackoffBase)))
+		e.Proc().Elapse(backoff)
+	}
+}
+
+type hwTx struct{ e *exec }
+
+var _ tm.Tx = hwTx{}
+
+func (h hwTx) Load(addr uint64) uint64 {
+	v, out := h.e.u.Load(addr)
+	switch out.Kind {
+	case machine.OK:
+		return v
+	case machine.HWAborted:
+		tm.Unwind(out.Reason)
+	}
+	panic("unbounded: unexpected load outcome " + out.Kind.String())
+}
+
+func (h hwTx) Store(addr, val uint64) {
+	out := h.e.u.Store(addr, val)
+	switch out.Kind {
+	case machine.OK:
+		return
+	case machine.HWAborted:
+		tm.Unwind(out.Reason)
+	}
+	panic("unbounded: unexpected store outcome " + out.Kind.String())
+}
+
+func (h hwTx) OnCommit(f func()) { h.e.onCommit = append(h.e.onCommit, f) }
+
+func (h hwTx) Abort() {
+	h.e.u.Abort(machine.AbortExplicit)
+	tm.Unwind(machine.AbortExplicit)
+}
+
+// Nested implements tm.Tx: hardware transactions flatten closed nesting
+// (as BTM does); an inner abort therefore aborts the whole transaction —
+// which, under a hybrid, fails over to software where partial abort is
+// supported.
+func (h hwTx) Nested(body func()) bool {
+	if !h.e.u.Begin(0) {
+		tm.Unwind(machine.AbortNesting)
+	}
+	if tm.CatchNested(body) {
+		h.e.u.Abort(machine.AbortExplicit)
+		tm.Unwind(machine.AbortExplicit)
+	}
+	h.e.u.End()
+	return true
+}
+
+func (h hwTx) Retry() {
+	h.e.u.Abort(machine.AbortExplicit)
+	tm.UnwindRetry()
+}
+
+// Syscall is idealized as nearly free: the paper's unbounded HTM handles
+// in-transaction system calls "much less gracefully" through abort-handler
+// complexity, but its Figure 7 pure-HTM reference line is flat — the
+// forced failovers do not apply to it.
+func (h hwTx) Syscall() { h.e.Proc().Elapse(10) }

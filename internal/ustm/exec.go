@@ -1,0 +1,175 @@
+package ustm
+
+import (
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// exec adapts a Thread to the generic tm.Exec interface, providing the
+// Atomic retry loop (with the paper's reissue-after-killer-retires
+// policy) and the strong-atomicity treatment of non-transactional
+// accesses.
+type exec struct {
+	t *Thread
+}
+
+var _ tm.Exec = (*exec)(nil)
+
+// Proc implements tm.Exec.
+func (e *exec) Proc() *machine.Proc { return e.t.p }
+
+// Atomic implements tm.Exec: run body as a software transaction until it
+// commits.
+func (e *exec) Atomic(body func(tm.Tx)) {
+	t := e.t
+	age := t.stm.m.NextAge()
+	RunTx(t, age, body)
+}
+
+// RunTx runs body as one software transaction of the given age, retrying
+// until commit. The hybrid TM calls this directly so a failed-over
+// transaction keeps the age it was assigned at its first hardware
+// attempt (which is what makes software transactions "generally older").
+func RunTx(t *Thread, age uint64, body func(tm.Tx)) {
+	for {
+		t.Begin(age)
+		reason, retry, aborted := tm.Catch(func() { body(txHandle{t}) })
+		switch {
+		case !aborted:
+			if t.End() {
+				t.stm.stats.SWCommits++
+				return
+			}
+			// Killed between last barrier and commit: aborted and rolled
+			// back inside End.
+			t.stm.stats.SWAborts++
+			t.WaitForKiller()
+		case retry:
+			// Woken from transactional waiting: clean up and re-execute.
+			t.FinishRetryWake()
+		default:
+			_ = reason
+			t.Rollback()
+			t.stm.stats.SWAborts++
+			t.WaitForKiller()
+		}
+	}
+}
+
+// Load implements tm.Exec's non-transactional read. Under strong
+// atomicity a UFO fault means a software transaction holds the line with
+// write permission; the registered handler stalls until the protection is
+// removed (or, for lines held only by retrying transactions, wakes them).
+func (e *exec) Load(addr uint64) uint64 {
+	return NTLoad(e.t.stm, e.t.p, addr)
+}
+
+// Store implements tm.Exec's non-transactional write.
+func (e *exec) Store(addr, val uint64) {
+	NTStore(e.t.stm, e.t.p, addr, val)
+}
+
+// NTLoad performs a non-transactional read with USTM's fault-handler
+// policy. Shared by every system built on USTM.
+func NTLoad(s *STM, p *machine.Proc, addr uint64) uint64 {
+	for {
+		v, out := p.NTRead(addr)
+		switch out.Kind {
+		case machine.OK:
+			return v
+		case machine.UFOFault:
+			if handleNTFault(s, p, addr) {
+				// Retrying owners hold at most read permission, so a
+				// faulting read here is a leftover protection edge; the
+				// data is stable and may be read under masked faults.
+				p.SetUFOEnabled(false)
+				v, out = p.NTRead(addr)
+				p.SetUFOEnabled(true)
+				if out.Kind != machine.OK {
+					panic("ustm: masked nonT read failed: " + out.Kind.String())
+				}
+				return v
+			}
+		default:
+			panic("ustm: unexpected non-transactional read outcome " + out.Kind.String())
+		}
+	}
+}
+
+// NTStore performs a non-transactional write with USTM's fault-handler
+// policy.
+func NTStore(s *STM, p *machine.Proc, addr, val uint64) {
+	for {
+		out := p.NTWrite(addr, val)
+		switch out.Kind {
+		case machine.OK:
+			return
+		case machine.UFOFault:
+			if handleNTFault(s, p, addr) {
+				// All owners were retrying: their ownership does not
+				// isolate data, so complete the access with faults
+				// masked, then let the sleepers re-check the world.
+				p.SetUFOEnabled(false)
+				if out := p.NTWrite(addr, val); out.Kind != machine.OK {
+					panic("ustm: masked nonT write failed: " + out.Kind.String())
+				}
+				p.SetUFOEnabled(true)
+				s.WakeRetriers(p, s.RetryingOwners(mem.LineOf(addr)))
+				return
+			}
+		default:
+			panic("ustm: unexpected non-transactional write outcome " + out.Kind.String())
+		}
+	}
+}
+
+// handleNTFault is the UFO fault handler the STM registers for
+// non-transactional code (Section 4.2): by default it stalls the access
+// until the conflicting transaction commits or aborts. It returns true
+// when the line is held only by retrying transactions, in which case the
+// caller may proceed under masked faults.
+func handleNTFault(s *STM, p *machine.Proc, addr uint64) (allRetrying bool) {
+	line := mem.LineOf(addr)
+	if s.OwnersAllRetrying(line) {
+		return true
+	}
+	s.stats.NTStalls++
+	p.Elapse(s.cfg.NTStallCycles)
+	return false
+}
+
+// txHandle exposes a Thread as a tm.Tx.
+type txHandle struct{ t *Thread }
+
+var _ tm.Tx = txHandle{}
+
+func (h txHandle) Load(addr uint64) uint64 { return h.t.Load(addr) }
+func (h txHandle) Store(addr, val uint64)  { h.t.Store(addr, val) }
+func (h txHandle) Retry()                  { h.t.Retry() }
+func (h txHandle) OnCommit(f func())       { h.t.OnCommit(f) }
+
+// Abort explicitly aborts: the innermost nest when one is open (USTM
+// supports partial rollback), otherwise the whole transaction (which
+// rolls back and reissues).
+func (h txHandle) Abort() {
+	if h.t.NestDepth() > 0 {
+		tm.UnwindNested()
+	}
+	tm.Unwind(machine.AbortExplicit)
+}
+
+// Nested runs body as a closed nested transaction with partial abort.
+func (h txHandle) Nested(body func()) bool {
+	h.t.BeginNest()
+	if tm.CatchNested(body) {
+		h.t.AbortNest()
+		return false
+	}
+	h.t.EndNest()
+	return true
+}
+
+// Syscall is a no-op for software transactions: USTM supports idempotent
+// system calls directly (Section 6).
+func (h txHandle) Syscall() { h.t.p.Elapse(1) }

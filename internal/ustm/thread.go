@@ -1,0 +1,548 @@
+package ustm
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+type status uint8
+
+const (
+	statusIdle status = iota
+	statusRunning
+	statusRetrying
+)
+
+// Thread is the per-processor USTM transaction context (the paper's
+// per-thread transactional status structure, including the log).
+type Thread struct {
+	stm *STM
+	p   *machine.Proc
+
+	status status
+	age    uint64
+	killed bool
+	// killer bookkeeping for the reissue-after-killer-retires policy.
+	killer      *Thread
+	killerEpoch uint64
+	epoch       uint64 // bumps every time a transaction of ours ends
+
+	undo        []undoRec
+	owned       []ownedRec
+	toWake      []*Thread
+	wakePending bool
+	onCommit    []func()
+	// nestSave stacks undo-log lengths at nest entry. Entries acquired
+	// inside an aborted nest are retained until transaction end (lazy
+	// release: conservative isolation is always safe), so a savepoint is
+	// just an undo-log position.
+	nestSave []int
+}
+
+type undoRec struct {
+	addr uint64
+	old  uint64
+}
+
+type ownedRec struct {
+	line  uint64
+	write bool
+}
+
+// Proc returns the thread's processor.
+func (t *Thread) Proc() *machine.Proc { return t.p }
+
+// Active reports whether a transaction is in flight (running or retrying).
+func (t *Thread) Active() bool { return t.status != statusIdle }
+
+// Age returns the current transaction's age.
+func (t *Thread) Age() uint64 { return t.age }
+
+// Begin starts a software transaction with the given age (ustm_begin):
+// clear the log, record the sequence number, set the transaction state,
+// and disable UFO faults so the transaction does not fault on its own
+// protected data.
+func (t *Thread) Begin(age uint64) {
+	if t.status != statusIdle {
+		panic("ustm: Begin with transaction already active")
+	}
+	t.status = statusRunning
+	t.age = age
+	t.killed = false
+	t.killer = nil
+	t.undo = t.undo[:0]
+	t.owned = t.owned[:0]
+	t.toWake = t.toWake[:0]
+	t.wakePending = false
+	t.onCommit = t.onCommit[:0]
+	t.nestSave = t.nestSave[:0]
+	t.p.SetSTM(true, age)
+	t.p.SetUFOEnabled(false)
+	t.p.RecordSW(machine.TraceSWBegin, machine.AbortNone, age)
+	t.p.Elapse(t.stm.cfg.BeginCycles)
+}
+
+// End commits the transaction (ustm_end): release ownership, wake any
+// retrying transactions whose reads we overwrote, re-enable UFO faults,
+// and discard the checkpoint. It reports false (and rolls back) if the
+// transaction was killed after its last barrier.
+func (t *Thread) End() bool {
+	if t.status != statusRunning {
+		panic("ustm: End with no running transaction")
+	}
+	if t.killed {
+		t.Rollback()
+		return false
+	}
+	t.p.RecordSWFootprint(len(t.owned))
+	t.releaseAll()
+	for _, w := range t.toWake {
+		w.wake(t.p)
+	}
+	t.p.Elapse(t.stm.cfg.CommitCycles)
+	t.p.RecordSW(machine.TraceSWCommit, machine.AbortNone, t.age)
+	t.finish()
+	t.runDeferred()
+	return true
+}
+
+// OnCommit registers a deferred side effect (Section 6); it runs once,
+// after this transaction commits, and is dropped if it aborts.
+func (t *Thread) OnCommit(f func()) {
+	t.onCommit = append(t.onCommit, f)
+}
+
+// runDeferred executes and clears the deferred side effects.
+func (t *Thread) runDeferred() {
+	for _, f := range t.onCommit {
+		f()
+	}
+	t.onCommit = t.onCommit[:0]
+}
+
+// Rollback aborts the transaction (ustm_abort): undo writes in reverse
+// order, release ownership, and restore the pre-transaction state.
+func (t *Thread) Rollback() {
+	if t.status == statusIdle {
+		panic("ustm: Rollback with no transaction")
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		r := t.undo[i]
+		t.ntWriteMustOK(r.addr, r.old)
+		t.p.Elapse(t.stm.cfg.LogCycles)
+	}
+	t.releaseAll()
+	for _, w := range t.toWake {
+		w.wake(t.p) // spurious wake-ups are safe; retriers re-check
+	}
+	t.p.RecordSW(machine.TraceSWAbort, machine.AbortConflict, t.age)
+	t.p.Elapse(t.stm.cfg.CommitCycles)
+	t.finish()
+}
+
+// finish retires the transaction: status idle, epoch bumped, UFO faults
+// re-enabled.
+func (t *Thread) finish() {
+	t.status = statusIdle
+	t.epoch++
+	t.p.SetSTM(false, 0)
+	t.p.SetUFOEnabled(true)
+}
+
+// WaitForKiller stalls until the transaction that aborted us has retired,
+// the paper's anti-livelock reissue policy. Call after Rollback.
+func (t *Thread) WaitForKiller() {
+	if t.killer == nil {
+		return
+	}
+	// Wait only while the killer is still running the transaction that
+	// killed us; an idle or descheduled (retrying) killer has effectively
+	// retired.
+	for t.killer.status == statusRunning && t.killer.epoch == t.killerEpoch {
+		t.p.Elapse(t.stm.cfg.StallCycles)
+	}
+	t.killer = nil
+}
+
+// kill marks victim as aborted by t. The victim notices at its next
+// barrier (or stall poll) and unwinds; a blocked (retrying) victim is
+// woken so it can unwind.
+func (t *Thread) kill(victim *Thread) {
+	if victim.killed || victim.status == statusIdle {
+		return
+	}
+	victim.killed = true
+	victim.killer = t
+	victim.killerEpoch = t.epoch
+	if victim.status == statusRetrying {
+		victim.wakePending = true
+		t.p.Wake(victim.p)
+	}
+}
+
+// checkKilled unwinds the transaction body if another transaction has
+// signaled us to abort.
+func (t *Thread) checkKilled() {
+	if t.killed {
+		tm.Unwind(machine.AbortConflict)
+	}
+}
+
+// --- Barriers (Algorithm 1 / Algorithm 2) ---
+
+// ReadBarrier acquires read permission for addr, stalling or killing
+// conflictors per the age policy, and installs fault-on-write protection
+// when strong atomicity is enabled.
+func (t *Thread) ReadBarrier(addr uint64) {
+	t.barrier(addr, false)
+}
+
+// WriteBarrier acquires write permission for addr and installs
+// fault-on-read and fault-on-write protection when strong atomicity is
+// enabled.
+func (t *Thread) WriteBarrier(addr uint64) {
+	t.barrier(addr, true)
+}
+
+func (t *Thread) barrier(addr uint64, write bool) {
+	if t.status != statusRunning {
+		panic(fmt.Sprintf("ustm: barrier outside a transaction (status %d)", t.status))
+	}
+	line := mem.LineOf(addr)
+	idx := t.stm.ot.index(line)
+	r := t.stm.ot.row(idx)
+	rowAddr := t.stm.ot.rowAddr(idx)
+	for {
+		t.checkKilled()
+		// Inspect the row head (one otable memory reference plus the
+		// barrier's fixed logic).
+		t.ntReadMustOK(rowAddr)
+		t.p.Elapse(t.stm.cfg.BarrierCycles)
+		if r.locked {
+			t.stall()
+			continue
+		}
+		e := r.find(line)
+		switch {
+		case e == nil:
+			// Insert a fresh entry (compare&swap on the head; the chain
+			// is locked while UFO bits are installed so that the bits can
+			// never disagree with the otable — Algorithm 2).
+			r.locked = true
+			t.ntWriteMustOK(rowAddr, 1)
+			t.p.Elapse(t.stm.cfg.CASCycles)
+			r.entries = append(r.entries, &entry{tag: line, write: write, owners: []*Thread{t}})
+			t.owned = append(t.owned, ownedRec{line: line, write: write})
+			t.installUFO(line, write)
+			r.locked = false
+			return
+		case e.hasOwner(t) && e.soleOwner(t):
+			if write && !e.write {
+				// Upgrade read → write permission.
+				r.locked = true
+				t.p.Elapse(t.stm.cfg.CASCycles)
+				e.write = true
+				t.upgradeOwned(line)
+				t.installUFO(line, true)
+				r.locked = false
+			}
+			return
+		case e.hasOwner(t) && !write && !e.write:
+			// Already a reader among readers.
+			return
+		case e.hasOwner(t) && e.write:
+			// Already the writer (write entries are exclusive, so being
+			// an owner of a write entry means being the writer).
+			return
+		default:
+			// Conflict: some other transaction owns the entry (or we are
+			// a reader needing an upgrade past other readers).
+			if !t.resolveConflict(r, e, write) {
+				continue // stalled for an older conflictor; re-examine
+			}
+			// Conflictors killed and drained; re-examine the row.
+		}
+	}
+}
+
+// resolveConflict applies the age policy against e's other owners.
+// It returns false if we stalled (caller re-examines), true once every
+// other active owner has been killed and has released the entry.
+func (t *Thread) resolveConflict(r *row, e *entry, write bool) bool {
+	// A read-read sharing situation is not a conflict: join the readers.
+	if !write && !e.write {
+		r.locked = true
+		t.p.Elapse(t.stm.cfg.CASCycles)
+		e.owners = append(e.owners, t)
+		t.owned = append(t.owned, ownedRec{line: e.tag, write: false})
+		// First reader installed protection already; joining readers
+		// share it.
+		r.locked = false
+		return true
+	}
+	// Retrying owners do not block anyone: steal their ownership and
+	// schedule their wake-up for our commit (Section 6).
+	var active []*Thread
+	for _, o := range append([]*Thread(nil), e.owners...) {
+		if o == t {
+			continue
+		}
+		if o.status == statusRetrying {
+			e.dropOwner(o)
+			t.noteWake(o)
+			continue
+		}
+		active = append(active, o)
+	}
+	if len(active) == 0 {
+		if len(e.owners) == 0 || e.soleOwner(t) {
+			if e.hasOwner(t) {
+				return true // loop will take the upgrade path
+			}
+			// Entry empty: remove it; the retry of the outer loop will
+			// insert fresh.
+			r.remove(e)
+			if t.stm.cfg.StrongAtomicity {
+				t.p.SetUFO(mem.LineAddr(e.tag), mem.UFONone)
+			}
+			return true
+		}
+		return true
+	}
+	// Stall if any active conflictor is older.
+	for _, o := range active {
+		if o.age < t.age {
+			t.stm.stats.SWStalls++
+			t.stall()
+			return false
+		}
+	}
+	// We are the oldest: kill the younger conflictors and wait for each
+	// to release its ownership (blocking STM: victims unwind themselves).
+	for _, o := range active {
+		t.kill(o)
+	}
+	for _, o := range active {
+		for e.hasOwner(o) {
+			t.checkKilled()
+			t.p.Elapse(t.stm.cfg.StallCycles)
+		}
+	}
+	return true
+}
+
+// stall charges one conflict-poll interval, checking for our own death
+// first so that stalled victims unwind promptly.
+func (t *Thread) stall() {
+	t.checkKilled()
+	t.p.Elapse(t.stm.cfg.StallCycles)
+}
+
+// noteWake records a retrying transaction to wake at commit.
+func (t *Thread) noteWake(o *Thread) {
+	for _, w := range t.toWake {
+		if w == o {
+			return
+		}
+	}
+	t.toWake = append(t.toWake, o)
+}
+
+// installUFO applies Algorithm 2's protection rule: read entries install
+// fault-on-write; write entries install fault-on-read and fault-on-write.
+func (t *Thread) installUFO(line uint64, write bool) {
+	if !t.stm.cfg.StrongAtomicity {
+		return
+	}
+	bits := mem.UFOFaultOnWrite
+	if write {
+		bits = mem.UFOFaultAll
+	}
+	t.p.SetUFO(mem.LineAddr(line), bits)
+}
+
+func (t *Thread) upgradeOwned(line uint64) {
+	for i := range t.owned {
+		if t.owned[i].line == line {
+			t.owned[i].write = true
+			return
+		}
+	}
+}
+
+// releaseAll removes this transaction from every otable entry it owns,
+// clearing UFO protection when the last owner leaves (the reverse of
+// Algorithm 2, with the same row-locking discipline).
+func (t *Thread) releaseAll() {
+	for _, rec := range t.owned {
+		idx := t.stm.ot.index(rec.line)
+		r := t.stm.ot.row(idx)
+		t.ntWriteMustOK(t.stm.ot.rowAddr(idx), 1)
+		t.p.Elapse(t.stm.cfg.ReleaseCycles)
+		e := r.find(rec.line)
+		if e == nil || !e.hasOwner(t) {
+			continue // ownership was stolen while we were retrying
+		}
+		if e.dropOwner(t) {
+			r.remove(e)
+			if t.stm.cfg.StrongAtomicity {
+				t.p.SetUFO(mem.LineAddr(rec.line), mem.UFONone)
+			}
+		}
+	}
+	t.owned = t.owned[:0]
+}
+
+// --- Transactional data accesses ---
+
+// Load reads addr inside the transaction (read barrier + data read).
+func (t *Thread) Load(addr uint64) uint64 {
+	t.ReadBarrier(addr)
+	return t.ntReadMustOK(addr)
+}
+
+// Store writes addr inside the transaction (write barrier + undo logging
+// + in-place data write: eager versioning). Under LineGranularUndo the
+// first write to a line checkpoints all of its words.
+func (t *Thread) Store(addr, val uint64) {
+	t.WriteBarrier(addr)
+	if t.stm.cfg.LineGranularUndo {
+		t.logLine(mem.LineOf(addr))
+	} else {
+		old := t.ntReadMustOK(addr)
+		t.undo = append(t.undo, undoRec{addr: addr, old: old})
+		t.p.Elapse(t.stm.cfg.LogCycles)
+	}
+	t.ntWriteMustOK(addr, val)
+}
+
+// logLine checkpoints every word of line once per transaction.
+func (t *Thread) logLine(line uint64) {
+	for _, r := range t.undo {
+		if mem.LineOf(r.addr) == line {
+			return // already checkpointed
+		}
+	}
+	base := mem.LineAddr(line)
+	for w := uint64(0); w < mem.LineWords; w++ {
+		a := base + w*8
+		t.undo = append(t.undo, undoRec{addr: a, old: t.ntReadMustOK(a)})
+		t.p.Elapse(t.stm.cfg.LogCycles)
+	}
+}
+
+// NestDepth reports how many closed nests are open.
+func (t *Thread) NestDepth() int { return len(t.nestSave) }
+
+// BeginNest opens a closed nested transaction (a savepoint).
+func (t *Thread) BeginNest() {
+	t.nestSave = append(t.nestSave, len(t.undo))
+	t.p.Elapse(4)
+}
+
+// EndNest commits the innermost nest into its parent (closed-nesting
+// semantics: effects stay speculative until the outermost commit).
+func (t *Thread) EndNest() {
+	t.nestSave = t.nestSave[:len(t.nestSave)-1]
+	t.p.Elapse(2)
+}
+
+// AbortNest rolls the innermost nest back to its savepoint: data writes
+// are undone; ownership acquired inside the nest is retained until the
+// transaction ends (lazy release).
+func (t *Thread) AbortNest() {
+	save := t.nestSave[len(t.nestSave)-1]
+	t.nestSave = t.nestSave[:len(t.nestSave)-1]
+	for i := len(t.undo) - 1; i >= save; i-- {
+		r := t.undo[i]
+		t.ntWriteMustOK(r.addr, r.old)
+		t.p.Elapse(t.stm.cfg.LogCycles)
+	}
+	t.undo = t.undo[:save]
+}
+
+// Retry implements transactional waiting: undo speculative writes,
+// convert held write entries to reads, deschedule until a committing
+// writer wakes us, then unwind for re-execution.
+func (t *Thread) Retry() {
+	t.checkKilled()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		r := t.undo[i]
+		t.ntWriteMustOK(r.addr, r.old)
+		t.p.Elapse(t.stm.cfg.LogCycles)
+	}
+	t.undo = t.undo[:0]
+	// Downgrade write entries to read entries (fault-on-write only).
+	for i := range t.owned {
+		if !t.owned[i].write {
+			continue
+		}
+		line := t.owned[i].line
+		e := t.stm.ot.row(t.stm.ot.index(line)).find(line)
+		if e != nil && e.hasOwner(t) {
+			e.write = false
+		}
+		t.owned[i].write = false
+		if t.stm.cfg.StrongAtomicity {
+			t.p.SetUFO(mem.LineAddr(line), mem.UFOFaultOnWrite)
+		}
+	}
+	t.stm.stats.Retries++
+	// A conflictor may have signaled us to abort during the downgrade
+	// writes above; unwinding now (rather than blocking) keeps the killer
+	// from waiting forever on a descheduled victim. No scheduling point
+	// separates this check from Block, so the check cannot go stale.
+	t.checkKilled()
+	t.status = statusRetrying
+	if !t.wakePending {
+		t.p.Block()
+	}
+	t.wakePending = false
+	t.status = statusRunning
+	t.checkKilled() // a kill may have woken us instead of a writer
+	tm.UnwindRetry()
+}
+
+// FinishRetryWake cleans up after a retry wake-up: remaining (read)
+// ownership is released and the transaction retires so it can be
+// re-issued. Any wake-ups we owed are delivered spuriously — retriers
+// re-check their condition, so early wake-ups are safe.
+func (t *Thread) FinishRetryWake() {
+	t.releaseAll()
+	for _, w := range t.toWake {
+		w.wake(t.p)
+	}
+	t.finish()
+}
+
+// wake readies a retrying transaction (called by committers after their
+// update is visible). Safe to call from any running processor.
+func (t *Thread) wake(from *machine.Proc) {
+	if t.status != statusRetrying {
+		return
+	}
+	t.wakePending = true
+	from.Wake(t.p)
+}
+
+// --- helpers ---
+
+// ntReadMustOK performs a non-transactional read that must succeed (UFO
+// faults are disabled inside software transactions; non-transactional
+// reads are never NACKed).
+func (t *Thread) ntReadMustOK(addr uint64) uint64 {
+	v, out := t.p.NTRead(addr)
+	if out.Kind != machine.OK {
+		panic(fmt.Sprintf("ustm: unexpected outcome %v for STM-internal read at %#x", out, addr))
+	}
+	return v
+}
+
+func (t *Thread) ntWriteMustOK(addr, val uint64) {
+	if out := t.p.NTWrite(addr, val); out.Kind != machine.OK {
+		panic(fmt.Sprintf("ustm: unexpected outcome %v for STM-internal write at %#x", out, addr))
+	}
+}

@@ -1,0 +1,30 @@
+package watch_test
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/watch"
+)
+
+// Example installs a write watchpoint and catches the culprit store.
+func Example() {
+	m := machine.New(machine.DefaultParams(2))
+	w := watch.New(m, func(e watch.Event) {
+		fmt.Printf("watchpoint: proc %d wrote %#x\n", e.Proc, e.Addr)
+	})
+	m.Run([]func(*machine.Proc){
+		func(p *machine.Proc) {
+			w.Watch(p, 0x100, false, true) // fault on writes to that line
+			p.Elapse(10_000)
+		},
+		func(p *machine.Proc) {
+			p.Elapse(1_000)
+			w.Store(p, 0x100, 42) // the "bug"
+		},
+	})
+	fmt.Println("hits:", w.Hits())
+	// Output:
+	// watchpoint: proc 1 wrote 0x100
+	// hits: 1
+}

@@ -1,0 +1,135 @@
+package watch
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func testMachine() *machine.Machine {
+	p := machine.DefaultParams(2)
+	p.MemBytes = 1 << 20
+	p.Quantum = 0
+	p.MaxSteps = 5_000_000
+	return machine.New(p)
+}
+
+func TestWriteWatchpointFires(t *testing.T) {
+	m := testMachine()
+	var events []Event
+	w := New(m, func(e Event) { events = append(events, e) })
+	m.Run([]func(*machine.Proc){
+		func(p *machine.Proc) {
+			w.Watch(p, 128, false, true)
+			w.Store(p, 128, 7)       // fires
+			if w.Load(p, 128) != 7 { // read not watched: silent
+				t.Error("value lost")
+			}
+			w.Store(p, 256, 1) // different line: silent
+		},
+		func(p *machine.Proc) {},
+	})
+	if len(events) != 1 {
+		t.Fatalf("events = %v, want exactly one", events)
+	}
+	if events[0].Addr != 128 || !events[0].Write || events[0].Proc != 0 {
+		t.Fatalf("event = %+v", events[0])
+	}
+	if w.Hits() != 1 {
+		t.Fatalf("hits = %d", w.Hits())
+	}
+}
+
+func TestReadWatchpointFires(t *testing.T) {
+	m := testMachine()
+	var reads int
+	w := New(m, func(e Event) {
+		if !e.Write {
+			reads++
+		}
+	})
+	m.Run([]func(*machine.Proc){
+		func(p *machine.Proc) {
+			w.Watch(p, 0, true, false)
+			w.Load(p, 0)
+			w.Load(p, 8)     // same line: fires again
+			w.Store(p, 0, 1) // write not watched
+		},
+		func(p *machine.Proc) {},
+	})
+	if reads != 2 {
+		t.Fatalf("read hits = %d, want 2", reads)
+	}
+}
+
+func TestUnwatchStopsFiring(t *testing.T) {
+	m := testMachine()
+	w := New(m, nil)
+	m.Run([]func(*machine.Proc){
+		func(p *machine.Proc) {
+			w.Watch(p, 0, true, true)
+			w.Store(p, 0, 1)
+			w.Unwatch(p, 0)
+			w.Store(p, 0, 2)
+			w.Load(p, 0)
+		},
+		func(p *machine.Proc) {},
+	})
+	if w.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", w.Hits())
+	}
+	if m.Mem.Read64(0) != 2 {
+		t.Fatal("writes lost")
+	}
+}
+
+func TestCrossProcessorDetection(t *testing.T) {
+	// Processor 0 installs the watchpoint; processor 1 trips it — the UFO
+	// bits are coherent machine state, not per-processor.
+	m := testMachine()
+	var culprit int
+	w := New(m, func(e Event) { culprit = e.Proc })
+	m.Run([]func(*machine.Proc){
+		func(p *machine.Proc) {
+			w.Watch(p, 512, false, true)
+			p.Elapse(10_000)
+		},
+		func(p *machine.Proc) {
+			p.Elapse(1_000)
+			w.Store(p, 512, 99) // the "buggy" write
+		},
+	})
+	if w.Hits() != 1 || culprit != 1 {
+		t.Fatalf("hits=%d culprit=%d", w.Hits(), culprit)
+	}
+	if m.Mem.Read64(512) != 99 {
+		t.Fatal("monitored write lost")
+	}
+}
+
+func TestUnwatchedAccessesAreFree(t *testing.T) {
+	// The pay-per-use property: without watchpoints, monitored accessors
+	// cost the same as raw accesses.
+	m := testMachine()
+	w := New(m, nil)
+	var monitored, raw uint64
+	m.Run([]func(*machine.Proc){
+		func(p *machine.Proc) {
+			start := p.Now()
+			for i := uint64(0); i < 64; i++ {
+				w.Store(p, i*64, i)
+			}
+			monitored = p.Now() - start
+		},
+		func(p *machine.Proc) {
+			start := p.Now()
+			for i := uint64(64); i < 128; i++ {
+				p.NTWrite(i*64, i)
+			}
+			raw = p.Now() - start
+		},
+	})
+	if monitored != raw {
+		t.Fatalf("monitored %d cycles vs raw %d: unwatched accesses must be free", monitored, raw)
+	}
+}
