@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
@@ -13,6 +14,11 @@ import (
 	"repro/internal/machine"
 	"repro/internal/stamp"
 )
+
+// benchParallel bounds the sweep benchmarks' worker pool; 0 means one
+// worker per CPU. Set it with `go test -bench Sweep -args -parallel=N`
+// (the -args separator keeps it distinct from go test's own -parallel).
+var benchParallel = flag.Int("parallel", 0, "sweep benchmark worker count (0 = one per CPU)")
 
 func benchOptions() harness.Options {
 	opt := harness.DefaultOptions()
@@ -53,6 +59,25 @@ func BenchmarkFigure5(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", f.Name, sys), func(b *testing.B) {
 				benchWorkload(b, sys, f.New, 4)
 			})
+		}
+	}
+}
+
+// BenchmarkFigure5Sweep measures the whole ScaleSmall Figure 5 sweep
+// through the parallel Runner (worker count from -parallel). Comparing
+// `-args -parallel=1` against the default measures the sweep executor's
+// wall-clock speedup; the reported results are identical by
+// construction.
+func BenchmarkFigure5Sweep(b *testing.B) {
+	opt := benchOptions()
+	runner := harness.Parallel(*benchParallel)
+	for i := 0; i < b.N; i++ {
+		data, err := runner.Figure5(opt, harness.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) != 5 {
+			b.Fatalf("sweep returned %d workloads", len(data))
 		}
 	}
 }

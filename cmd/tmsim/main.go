@@ -12,6 +12,12 @@
 //
 // -scale small runs quick versions; -scale full (default) runs the sizes
 // recorded in EXPERIMENTS.md. Runs are deterministic for a given -seed.
+//
+// Independent sweep cells fan out across -parallel worker goroutines
+// (default: one per CPU; -parallel 1 forces the serial order). Every
+// cell owns its simulated machine and RNG seed, so the output is
+// bit-identical for every worker count. -progress reports cells
+// done/total with an ETA on stderr.
 package main
 
 import (
@@ -29,6 +35,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "machine RNG seed")
 	seeds := flag.Int("seeds", 0, "run fig5 across seeds 1..N and report mean/min/max")
 	csvPath := flag.String("csv", "", "also write the fig5 sweep as CSV to this file")
+	parallel := flag.Int("parallel", 0, "sweep worker count (0 = one per CPU, 1 = serial)")
+	progress := flag.Bool("progress", false, "report sweep progress (cells done/total, ETA) on stderr")
 	flag.Parse()
 
 	scale := harness.ScaleFull
@@ -43,6 +51,24 @@ func main() {
 	opt := harness.DefaultOptions()
 	opt.Params.Seed = *seed
 
+	runner := harness.Parallel(*parallel)
+	if *progress {
+		runner.Progress = func(p harness.Progress) {
+			fmt.Fprintf(os.Stderr, "\r  [%d/%d cells, elapsed %v, eta %v]   ",
+				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	run := func(name string) {
 		start := time.Now()
 		switch name {
@@ -50,36 +76,45 @@ func main() {
 			harness.PrintParams(os.Stdout, opt)
 		case "fig5":
 			if *seeds > 1 {
-				harness.PrintSeedStats(os.Stdout, harness.Figure5Seeds(opt, scale, *seeds))
+				stats, err := runner.Figure5Seeds(opt, scale, *seeds)
+				harness.PrintSeedStats(os.Stdout, stats)
+				fail(err)
 				break
 			}
-			data := harness.Figure5(opt, scale)
+			data, err := runner.Figure5(opt, scale)
 			harness.PrintFigure5(os.Stdout, data, scale)
+			fail(err)
 			if *csvPath != "" {
 				f, err := os.Create(*csvPath)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
-					os.Exit(1)
-				}
-				if err := harness.WriteFigure5CSV(f, data, scale); err != nil {
-					fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
-					os.Exit(1)
-				}
-				f.Close()
+				fail(err)
+				fail(harness.WriteFigure5CSV(f, data, scale))
+				fail(f.Close())
 				fmt.Printf("  [csv written to %s]\n", *csvPath)
 			}
 		case "fig6":
-			harness.PrintFigure6(os.Stdout, harness.Figure6(opt, scale))
+			rows, err := runner.Figure6(opt, scale)
+			harness.PrintFigure6(os.Stdout, rows)
+			fail(err)
 		case "fig7":
-			harness.PrintFigure7(os.Stdout, harness.Figure7(opt, scale))
+			d, err := runner.Figure7(opt, scale)
+			harness.PrintFigure7(os.Stdout, d)
+			fail(err)
 		case "fig8":
-			harness.PrintFigure8(os.Stdout, harness.Figure8(opt, scale))
+			rows, err := runner.Figure8(opt, scale)
+			harness.PrintFigure8(os.Stdout, rows)
+			fail(err)
 		case "ablate":
-			harness.PrintAblations(os.Stdout, harness.Ablations(opt, scale))
+			rows, err := runner.Ablations(opt, scale)
+			harness.PrintAblations(os.Stdout, rows)
+			fail(err)
 		case "extended":
-			harness.PrintFigure5(os.Stdout, harness.Extended(opt, scale), scale)
+			data, err := runner.Extended(opt, scale)
+			harness.PrintFigure5(os.Stdout, data, scale)
+			fail(err)
 		case "footprints":
-			harness.PrintFootprints(os.Stdout, harness.Footprints(opt, scale))
+			rows, err := runner.Footprints(opt, scale)
+			harness.PrintFootprints(os.Stdout, rows)
+			fail(err)
 		default:
 			fmt.Fprintf(os.Stderr, "tmsim: unknown experiment %q\n", name)
 			os.Exit(2)

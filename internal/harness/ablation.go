@@ -16,110 +16,113 @@ type AblationRow struct {
 	Result    Result
 }
 
+// studyConfig is one configuration of an ablation study: a label, the
+// system to run, and an options mutation.
+type studyConfig struct {
+	name   string
+	system SystemKind
+	mutate func(*Options)
+}
+
+// runStudy measures one workload's sequential baseline plus every
+// configuration of a study through the Runner's worker pool.
+func (r *Runner) runStudy(study string, f WorkloadFactory, threads int, opt Options, configs []studyConfig) ([]AblationRow, error) {
+	jobs := []Job{{System: Sequential, Factory: f, Threads: 1, Opt: opt}}
+	for _, c := range configs {
+		o := opt
+		c.mutate(&o)
+		jobs = append(jobs, Job{System: c.system, Factory: f, Threads: threads, Opt: o})
+	}
+	results, err := r.Execute(jobs)
+	seq := results[0].Cycles
+	out := make([]AblationRow, len(configs))
+	for i, c := range configs {
+		out[i] = AblationRow{
+			Study: study, Config: c.name, Workload: f.Name,
+			SeqCycles: seq,
+			Result:    results[i+1],
+		}
+	}
+	return out, err
+}
+
 // AblationUFOMitigations evaluates the paper's two proposed fixes for
 // false UFO/BTM conflicts (Section 4.3) — owner-state bit installation
 // and lazy bit clearing — against the default eager protocol and the
 // true-conflict-only limit study, on the workload with the heaviest
 // STM/HTM interaction.
-func AblationUFOMitigations(opt Options, scale Scale) []AblationRow {
+func (r *Runner) AblationUFOMitigations(opt Options, scale Scale) ([]AblationRow, error) {
 	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
-	f := benchmarkByName(scale, "vacation-high")
-	seq := mustOK(SeqBaseline(f, opt)).Cycles
-	configs := []struct {
-		name   string
-		mutate func(*Options)
-	}{
-		{"eager (default)", func(*Options) {}},
-		{"owner-state install", func(o *Options) { o.Params.OwnerStateUFO = true }},
-		{"lazy clear", func(o *Options) { o.Params.LazyUFOClear = true }},
-		{"both mitigations", func(o *Options) {
+	return r.runStudy("ufo-mitigations", benchmarkByName(scale, "vacation-high"), threads, opt, []studyConfig{
+		{"eager (default)", UFOHybrid, func(*Options) {}},
+		{"owner-state install", UFOHybrid, func(o *Options) { o.Params.OwnerStateUFO = true }},
+		{"lazy clear", UFOHybrid, func(o *Options) { o.Params.LazyUFOClear = true }},
+		{"both mitigations", UFOHybrid, func(o *Options) {
 			o.Params.OwnerStateUFO = true
 			o.Params.LazyUFOClear = true
 		}},
-		{"true-conflict limit", func(o *Options) { o.Params.TrueConflictUFOKills = true }},
-	}
-	var out []AblationRow
-	for _, c := range configs {
-		o := opt
-		c.mutate(&o)
-		out = append(out, AblationRow{
-			Study: "ufo-mitigations", Config: c.name, Workload: f.Name,
-			SeqCycles: seq,
-			Result:    mustOK(Run(UFOHybrid, f.New(), threads, o)),
-		})
-	}
-	return out
+		{"true-conflict limit", UFOHybrid, func(o *Options) { o.Params.TrueConflictUFOKills = true }},
+	})
 }
 
 // AblationL1Size sweeps the transactional capacity: smaller L1s overflow
 // more transactions to software, quantifying how much of the hybrid's
 // performance rides on hardware capacity (the DESIGN.md ablation for the
 // bounded-HTM design choice).
-func AblationL1Size(opt Options, scale Scale) []AblationRow {
+func (r *Runner) AblationL1Size(opt Options, scale Scale) ([]AblationRow, error) {
 	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
-	f := benchmarkByName(scale, "vacation-high")
-	seq := mustOK(SeqBaseline(f, opt)).Cycles
-	var out []AblationRow
+	var configs []studyConfig
 	for _, kb := range []int{4, 8, 16, 32, 64} {
-		o := opt
-		o.Params.L1Bytes = kb * 1024
-		out = append(out, AblationRow{
-			Study: "l1-size", Config: fmt.Sprintf("%d KB", kb), Workload: f.Name,
-			SeqCycles: seq,
-			Result:    mustOK(Run(UFOHybrid, f.New(), threads, o)),
+		configs = append(configs, studyConfig{
+			fmt.Sprintf("%d KB", kb), UFOHybrid,
+			func(o *Options) { o.Params.L1Bytes = kb * 1024 },
 		})
 	}
-	return out
+	return r.runStudy("l1-size", benchmarkByName(scale, "vacation-high"), threads, opt, configs)
 }
 
 // AblationOTableSize sweeps the ownership-table row count: small tables
 // alias unrelated lines to the same row, manufacturing conflicts — the
 // reason the paper sizes otables at "tens of thousands" of entries.
-func AblationOTableSize(opt Options, scale Scale) []AblationRow {
+func (r *Runner) AblationOTableSize(opt Options, scale Scale) ([]AblationRow, error) {
 	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
-	f := benchmarkByName(scale, "vacation-low")
-	seq := mustOK(SeqBaseline(f, opt)).Cycles
-	var out []AblationRow
+	var configs []studyConfig
 	for _, rows := range []int{1 << 6, 1 << 10, 1 << 16} {
-		o := opt
-		o.OTableRows = rows
-		out = append(out, AblationRow{
-			Study: "otable-size", Config: fmt.Sprintf("%d rows", rows), Workload: f.Name,
-			SeqCycles: seq,
-			Result:    mustOK(Run(USTMUFO, f.New(), threads, o)),
+		configs = append(configs, studyConfig{
+			fmt.Sprintf("%d rows", rows), USTMUFO,
+			func(o *Options) { o.OTableRows = rows },
 		})
 	}
-	return out
+	return r.runStudy("otable-size", benchmarkByName(scale, "vacation-low"), threads, opt, configs)
 }
 
 // AblationQuantum sweeps the scheduling quantum: short quanta interrupt
 // (and so abort) more hardware transactions, which the abort handler must
 // absorb as recoverable retries.
-func AblationQuantum(opt Options, scale Scale) []AblationRow {
+func (r *Runner) AblationQuantum(opt Options, scale Scale) ([]AblationRow, error) {
 	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
-	f := benchmarkByName(scale, "kmeans-low")
-	seq := mustOK(SeqBaseline(f, opt)).Cycles
-	var out []AblationRow
+	var configs []studyConfig
 	for _, q := range []uint64{5_000, 50_000, 200_000, 2_000_000} {
-		o := opt
-		o.Params.Quantum = q
-		out = append(out, AblationRow{
-			Study: "quantum", Config: fmt.Sprintf("%d cycles", q), Workload: f.Name,
-			SeqCycles: seq,
-			Result:    mustOK(Run(UFOHybrid, f.New(), threads, o)),
+		configs = append(configs, studyConfig{
+			fmt.Sprintf("%d cycles", q), UFOHybrid,
+			func(o *Options) { o.Params.Quantum = q },
 		})
 	}
-	return out
+	return r.runStudy("quantum", benchmarkByName(scale, "kmeans-low"), threads, opt, configs)
 }
 
 // Ablations runs every ablation study.
-func Ablations(opt Options, scale Scale) []AblationRow {
+func (r *Runner) Ablations(opt Options, scale Scale) ([]AblationRow, error) {
 	var out []AblationRow
-	out = append(out, AblationUFOMitigations(opt, scale)...)
-	out = append(out, AblationL1Size(opt, scale)...)
-	out = append(out, AblationOTableSize(opt, scale)...)
-	out = append(out, AblationQuantum(opt, scale)...)
-	return out
+	var errs []error
+	for _, study := range []func(Options, Scale) ([]AblationRow, error){
+		r.AblationUFOMitigations, r.AblationL1Size, r.AblationOTableSize, r.AblationQuantum,
+	} {
+		rows, err := study(opt, scale)
+		out = append(out, rows...)
+		errs = append(errs, err)
+	}
+	return out, mergeSweepErrors(errs...)
 }
 
 // PrintAblations renders the studies.
@@ -161,16 +164,18 @@ type FootprintRow struct {
 // Footprints profiles committed-transaction footprints per benchmark —
 // the data behind the paper's observation that "a significant majority
 // of the dynamic transactions ... execute completely in BTM".
-func Footprints(opt Options, scale Scale) []FootprintRow {
+func (r *Runner) Footprints(opt Options, scale Scale) ([]FootprintRow, error) {
 	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
-	var out []FootprintRow
+	var jobs []Job
 	for _, f := range append(Benchmarks(scale), ExtendedBenchmarks(scale)...) {
-		out = append(out, FootprintRow{
-			Workload: f.Name,
-			Result:   mustOK(Run(UFOHybrid, f.New(), threads, opt)),
-		})
+		jobs = append(jobs, Job{System: UFOHybrid, Factory: f, Threads: threads, Opt: opt})
 	}
-	return out
+	results, err := r.Execute(jobs)
+	out := make([]FootprintRow, len(jobs))
+	for i, j := range jobs {
+		out[i] = FootprintRow{Workload: j.Factory.Name, Result: results[i]}
+	}
+	return out, err
 }
 
 // PrintFootprints renders the profile.

@@ -19,35 +19,51 @@ type Figure5Data struct {
 
 // Figure5 reproduces the paper's Figure 5: speedup over sequential
 // execution for every benchmark × TM system × thread count.
-func Figure5(opt Options, scale Scale) []Figure5Data {
-	return Sweep(Benchmarks(scale), Figure5Systems, opt, scale)
+func (r *Runner) Figure5(opt Options, scale Scale) ([]Figure5Data, error) {
+	return r.Sweep(Benchmarks(scale), Figure5Systems, opt, scale)
 }
 
 // Extended runs the same sweep over the extension workloads (STAMP
 // benchmarks beyond the paper's three: ssca2, intruder, labyrinth).
-func Extended(opt Options, scale Scale) []Figure5Data {
-	return Sweep(ExtendedBenchmarks(scale), Figure5Systems, opt, scale)
+func (r *Runner) Extended(opt Options, scale Scale) ([]Figure5Data, error) {
+	return r.Sweep(ExtendedBenchmarks(scale), Figure5Systems, opt, scale)
 }
 
 // Sweep measures speedup over sequential for every workload × system ×
-// thread count.
-func Sweep(factories []WorkloadFactory, systems []SystemKind, opt Options, scale Scale) []Figure5Data {
+// thread count. All cells (including the per-workload sequential
+// baselines) fan out across the Runner's worker pool; the assembled
+// data is identical for every worker count.
+func (r *Runner) Sweep(factories []WorkloadFactory, systems []SystemKind, opt Options, scale Scale) ([]Figure5Data, error) {
+	threads := ThreadCounts(scale)
+	var jobs []Job
+	for _, f := range factories {
+		jobs = append(jobs, Job{System: Sequential, Factory: f, Threads: 1, Opt: opt})
+		for _, sys := range systems {
+			for _, t := range threads {
+				jobs = append(jobs, Job{System: sys, Factory: f, Threads: t, Opt: opt})
+			}
+		}
+	}
+	results, err := r.Execute(jobs)
 	var out []Figure5Data
+	i := 0
 	for _, f := range factories {
 		d := Figure5Data{
 			Workload: f.Name,
 			Cells:    make(map[SystemKind]map[int]Result),
 		}
-		d.SeqCycles = mustOK(SeqBaseline(f, opt)).Cycles
+		d.SeqCycles = results[i].Cycles
+		i++
 		for _, sys := range systems {
 			d.Cells[sys] = make(map[int]Result)
-			for _, t := range ThreadCounts(scale) {
-				d.Cells[sys][t] = mustOK(Run(sys, f.New(), t, opt))
+			for _, t := range threads {
+				d.Cells[sys][t] = results[i]
+				i++
 			}
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, err
 }
 
 // PrintFigure5 renders the sweep as text tables.
@@ -82,19 +98,20 @@ var Figure6Systems = []SystemKind{UnboundedHTM, UFOHybrid, HyTM, PhTM}
 
 // Figure6 reproduces the abort-reason breakdown at the largest thread
 // count of the scale.
-func Figure6(opt Options, scale Scale) []Figure6Row {
+func (r *Runner) Figure6(opt Options, scale Scale) ([]Figure6Row, error) {
 	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
-	var out []Figure6Row
+	var jobs []Job
 	for _, f := range Benchmarks(scale) {
 		for _, sys := range Figure6Systems {
-			out = append(out, Figure6Row{
-				Workload: f.Name,
-				System:   sys,
-				Result:   mustOK(Run(sys, f.New(), threads, opt)),
-			})
+			jobs = append(jobs, Job{System: sys, Factory: f, Threads: threads, Opt: opt})
 		}
 	}
-	return out
+	results, err := r.Execute(jobs)
+	out := make([]Figure6Row, len(jobs))
+	for i, j := range jobs {
+		out[i] = Figure6Row{Workload: j.Factory.Name, System: j.System, Result: results[i]}
+	}
+	return out, err
 }
 
 // figure6Reasons are the abort categories Figure 6 plots.
@@ -135,7 +152,7 @@ var Figure7Systems = []SystemKind{UnboundedHTM, UFOHybrid, HyTM, PhTM, USTMUFO}
 
 // Figure7 reproduces the software-failover microbenchmark (Section 5.3):
 // conflict-free transactions forced to software at a prescribed rate.
-func Figure7(opt Options, scale Scale) Figure7Data {
+func (r *Runner) Figure7(opt Options, scale Scale) (Figure7Data, error) {
 	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
 	tasks := 60
 	if scale == ScaleFull {
@@ -150,16 +167,35 @@ func Figure7(opt Options, scale Scale) Figure7Data {
 	if scale == ScaleSmall {
 		d.Rates = []int{0, 5, 20, 60, 100}
 	}
+	failover := func(rate int) WorkloadFactory {
+		return WorkloadFactory{
+			Name: fmt.Sprintf("failover-%d%%", rate),
+			New:  func() stamp.Workload { return stamp.NewFailover(tasks, rate) },
+		}
+	}
+	var jobs []Job
 	for _, rate := range d.Rates {
-		d.SeqCycles[rate] = mustOK(Run(Sequential, stamp.NewFailover(tasks, rate), 1, opt)).Cycles
+		jobs = append(jobs, Job{System: Sequential, Factory: failover(rate), Threads: 1, Opt: opt})
+	}
+	for _, sys := range Figure7Systems {
+		for _, rate := range d.Rates {
+			jobs = append(jobs, Job{System: sys, Factory: failover(rate), Threads: threads, Opt: opt})
+		}
+	}
+	results, err := r.Execute(jobs)
+	i := 0
+	for _, rate := range d.Rates {
+		d.SeqCycles[rate] = results[i].Cycles
+		i++
 	}
 	for _, sys := range Figure7Systems {
 		d.Cells[sys] = make(map[int]Result)
 		for _, rate := range d.Rates {
-			d.Cells[sys][rate] = mustOK(Run(sys, stamp.NewFailover(tasks, rate), threads, opt))
+			d.Cells[sys][rate] = results[i]
+			i++
 		}
 	}
-	return d
+	return d, err
 }
 
 // PrintFigure7 renders the sweep: absolute speedups (7a) and the
@@ -235,26 +271,41 @@ type Figure8Row struct {
 
 // Figure8 reproduces the contention-policy sensitivity study on the UFO
 // hybrid over the two highest-contention benchmarks.
-func Figure8(opt Options, scale Scale) []Figure8Row {
+func (r *Runner) Figure8(opt Options, scale Scale) ([]Figure8Row, error) {
 	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
-	var out []Figure8Row
+	variants := Figure8Variants()
+	var factories []WorkloadFactory
 	for _, f := range Benchmarks(scale) {
-		if f.Name != "genome" && f.Name != "kmeans-high" && f.Name != "vacation-high" {
-			continue
+		if f.Name == "genome" || f.Name == "kmeans-high" || f.Name == "vacation-high" {
+			factories = append(factories, f)
 		}
-		seqCycles := mustOK(SeqBaseline(f, opt)).Cycles
-		for _, v := range Figure8Variants() {
+	}
+	var jobs []Job
+	for _, f := range factories {
+		jobs = append(jobs, Job{System: Sequential, Factory: f, Threads: 1, Opt: opt})
+		for _, v := range variants {
 			o := opt
 			v.Mutate(&o)
+			jobs = append(jobs, Job{System: UFOHybrid, Factory: f, Threads: threads, Opt: o})
+		}
+	}
+	results, err := r.Execute(jobs)
+	var out []Figure8Row
+	i := 0
+	for _, f := range factories {
+		seqCycles := results[i].Cycles
+		i++
+		for _, v := range variants {
 			out = append(out, Figure8Row{
 				Workload:  f.Name,
 				Variant:   v.Name,
 				SeqCycles: seqCycles,
-				Result:    mustOK(Run(UFOHybrid, f.New(), threads, o)),
+				Result:    results[i],
 			})
+			i++
 		}
 	}
-	return out
+	return out, err
 }
 
 // PrintFigure8 renders the study.

@@ -11,7 +11,10 @@ import (
 
 func TestFigure5StructureAndPrint(t *testing.T) {
 	opt := testOptions()
-	data := Figure5(opt, ScaleSmall)
+	data, err := Parallel(0).Figure5(opt, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(data) != 5 {
 		t.Fatalf("workloads = %d, want 5", len(data))
 	}
@@ -39,7 +42,10 @@ func TestFigure5StructureAndPrint(t *testing.T) {
 
 func TestFigure6StructureAndPrint(t *testing.T) {
 	opt := testOptions()
-	rows := Figure6(opt, ScaleSmall)
+	rows, err := Parallel(0).Figure6(opt, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 5*len(Figure6Systems) {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -52,7 +58,10 @@ func TestFigure6StructureAndPrint(t *testing.T) {
 
 func TestFigure7StructureAndPrint(t *testing.T) {
 	opt := testOptions()
-	d := Figure7(opt, ScaleSmall)
+	d, err := Parallel(0).Figure7(opt, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(d.Rates) == 0 || d.Rates[0] != 0 || d.Rates[len(d.Rates)-1] != 100 {
 		t.Fatalf("rates = %v: must span 0..100", d.Rates)
 	}
@@ -72,7 +81,10 @@ func TestFigure7StructureAndPrint(t *testing.T) {
 
 func TestFigure8StructureAndPrint(t *testing.T) {
 	opt := testOptions()
-	rows := Figure8(opt, ScaleSmall)
+	rows, err := Parallel(0).Figure8(opt, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Three workloads × six variants.
 	if len(rows) != 3*len(Figure8Variants()) {
 		t.Fatalf("rows = %d", len(rows))
@@ -86,7 +98,10 @@ func TestFigure8StructureAndPrint(t *testing.T) {
 
 func TestAblationsStructureAndPrint(t *testing.T) {
 	opt := testOptions()
-	rows := Ablations(opt, ScaleSmall)
+	rows, err := Parallel(0).Ablations(opt, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	studies := map[string]int{}
 	for _, r := range rows {
 		studies[r.Study]++
@@ -105,7 +120,10 @@ func TestAblationsStructureAndPrint(t *testing.T) {
 
 func TestAblationL1SizeDirectionality(t *testing.T) {
 	opt := testOptions()
-	rows := AblationL1Size(opt, ScaleSmall)
+	rows, err := Parallel(0).AblationL1Size(opt, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Failovers must not increase with L1 size.
 	var prev = ^uint64(0)
 	for _, r := range rows {
@@ -123,7 +141,10 @@ func TestAblationL1SizeDirectionality(t *testing.T) {
 
 func TestExtendedSweep(t *testing.T) {
 	opt := testOptions()
-	data := Extended(opt, ScaleSmall)
+	data, err := Parallel(0).Extended(opt, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(data) != 3 {
 		t.Fatalf("extended workloads = %d, want 3", len(data))
 	}

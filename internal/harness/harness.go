@@ -6,8 +6,6 @@
 package harness
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/hytm"
 	"repro/internal/machine"
@@ -39,6 +37,14 @@ const (
 // Figure5Systems are the systems the paper's Figure 5 compares.
 var Figure5Systems = []SystemKind{
 	UnboundedHTM, UFOHybrid, HyTM, PhTM, USTMUFO, USTM, TL2,
+}
+
+// AllSystems lists every buildable SystemKind — the full cross-system
+// surface that conformance and race tests iterate, so a newly added
+// system is covered automatically.
+var AllSystems = []SystemKind{
+	Sequential, GlobalLock, UnboundedHTM, UFOHybrid, HyTM, PhTM,
+	USTM, USTMUFO, TL2,
 }
 
 // Options configures a run.
@@ -229,14 +235,4 @@ func ThreadCounts(s Scale) []int {
 // denominator of every speedup).
 func SeqBaseline(f WorkloadFactory, opt Options) Result {
 	return Run(Sequential, f.New(), 1, opt)
-}
-
-// mustOK panics if a run failed validation — an experiment on a broken
-// run would be meaningless.
-func mustOK(r Result) Result {
-	if r.Err != nil {
-		panic(fmt.Sprintf("harness: %s on %s with %d threads failed validation: %v",
-			r.Workload, r.System, r.Threads, r.Err))
-	}
-	return r
 }

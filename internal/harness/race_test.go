@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/stamp"
+)
+
+// TestConcurrentRunsAllSystemsRaceClean runs two independent harness
+// cells concurrently for every SystemKind. Its job is to flush out any
+// package-level mutable state in machine/sim/stamp or a TM system under
+// `go test -race`: each cell constructs its own machine, so concurrent
+// cells must never touch shared memory. The workload mixes hardware
+// commits, software failovers, and validation so every construction
+// path runs on at least two goroutines at once.
+func TestConcurrentRunsAllSystemsRaceClean(t *testing.T) {
+	opt := testOptions()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(AllSystems))
+	for _, kind := range AllSystems {
+		threads := 2
+		if kind == Sequential {
+			threads = 1
+		}
+		for copies := 0; copies < 2; copies++ {
+			wg.Add(1)
+			go func(kind SystemKind, threads int) {
+				defer wg.Done()
+				r := Run(kind, stamp.NewFailover(15, 25), threads, opt)
+				if r.Err != nil {
+					errs <- fmt.Errorf("%s/p%d: %w", kind, threads, r.Err)
+				}
+			}(kind, threads)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentSweepsShareNothing runs two parallel mini-sweeps over a
+// real STAMP workload at the same time — machines, otables, and
+// workload state from different sweeps must be fully disjoint.
+func TestConcurrentSweepsShareNothing(t *testing.T) {
+	opt := testOptions()
+	factories := []WorkloadFactory{{
+		Name: "kmeans-low",
+		New:  func() stamp.Workload { return stamp.KMeansLow(96) },
+	}}
+	systems := []SystemKind{UFOHybrid, USTMUFO}
+	var wg sync.WaitGroup
+	out := make([]string, 2)
+	errs := make([]error, 2)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, err := Parallel(2).Sweep(factories, systems, opt, ScaleSmall)
+			out[i] = fmt.Sprintf("%+v", data)
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i := range out {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+	}
+	if out[0] != out[1] {
+		t.Fatal("identical concurrent sweeps produced different results")
+	}
+}

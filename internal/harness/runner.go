@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Job is one independent sweep cell: a system, a fresh-workload factory,
+// a thread count, and the options to run it under. Each cell constructs
+// its own machine (and so its own seed-derived RNG streams) inside Run,
+// which is what makes cells safe to execute concurrently and their
+// results independent of execution order.
+type Job struct {
+	System  SystemKind
+	Factory WorkloadFactory
+	Threads int
+	Opt     Options
+}
+
+// Progress is a snapshot of a running sweep, delivered to the Runner's
+// Progress callback after every completed cell.
+type Progress struct {
+	// Done and Total count cells.
+	Done, Total int
+	// Elapsed is the wall-clock time since Execute started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall-clock time from the mean cell
+	// cost so far; zero when Done == Total.
+	ETA time.Duration
+}
+
+// CellError names one failing sweep cell.
+type CellError struct {
+	Workload string
+	System   SystemKind
+	Threads  int
+	Err      error
+}
+
+func (c CellError) Error() string {
+	return fmt.Sprintf("%s on %s with %d threads: %v", c.Workload, c.System, c.Threads, c.Err)
+}
+
+// SweepError aggregates every failing cell of a sweep: instead of
+// panicking mid-sweep on the first bad cell, the Runner finishes the
+// whole sweep and reports all failures, each naming its exact
+// (workload, system, threads) coordinates.
+type SweepError struct {
+	Total int // cells attempted
+	Cells []CellError
+}
+
+func (e *SweepError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "harness: %d of %d sweep cells failed:", len(e.Cells), e.Total)
+	for _, c := range e.Cells {
+		sb.WriteString("\n  ")
+		sb.WriteString(c.Error())
+	}
+	return sb.String()
+}
+
+// Runner executes sweep cells across a bounded worker pool. The zero
+// value (and a nil *Runner) runs with one worker per available CPU and
+// no progress reporting.
+//
+// Determinism guarantee: every cell owns its machine and RNG seed, so a
+// cell's Result is a pure function of its Job. Execute returns results
+// indexed by job order, so the assembled output is bit-identical for
+// every worker count, including 1 (the serial order). The worker count
+// changes only wall-clock time.
+type Runner struct {
+	// Workers bounds the number of concurrently executing cells;
+	// values <= 0 select runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, is invoked after each completed cell.
+	// Invocations are serialized by the Runner and Done is strictly
+	// increasing, so the callback needs no locking of its own.
+	Progress func(Progress)
+}
+
+// Serial returns a one-worker Runner: the exact serial execution order.
+func Serial() *Runner { return &Runner{Workers: 1} }
+
+// Parallel returns a Runner bounded at workers (<= 0 means all CPUs).
+func Parallel(workers int) *Runner { return &Runner{Workers: workers} }
+
+func (r *Runner) workerCount() int {
+	if r == nil || r.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Workers
+}
+
+func (r *Runner) progress() func(Progress) {
+	if r == nil {
+		return nil
+	}
+	return r.Progress
+}
+
+// Execute runs every job and returns the results in job order: result i
+// belongs to jobs[i] no matter which worker finished it when. A cell
+// that fails validation — or panics — contributes its error to the
+// returned *SweepError rather than aborting the sweep; the Result slice
+// is always fully populated.
+func (r *Runner) Execute(jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	workers := r.workerCount()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		start   = time.Now()
+		report  = r.progress()
+		mu      sync.Mutex
+		done    int
+		wg      sync.WaitGroup
+		indexes = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				results[i] = runCell(jobs[i])
+				if report != nil {
+					mu.Lock()
+					done++
+					p := Progress{Done: done, Total: len(jobs), Elapsed: time.Since(start)}
+					if remaining := len(jobs) - done; remaining > 0 {
+						p.ETA = p.Elapsed / time.Duration(done) * time.Duration(remaining)
+					}
+					report(p)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		indexes <- i
+	}
+	close(indexes)
+	wg.Wait()
+	return results, sweepError(results)
+}
+
+// runCell executes one job, converting a panic anywhere under Run
+// (machine livelock diagnostics, workload bugs) into a Result error so
+// one bad cell cannot take down a whole sweep.
+func runCell(j Job) (res Result) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res = Result{
+				System:   j.System,
+				Workload: j.Factory.Name,
+				Threads:  j.Threads,
+				Err:      fmt.Errorf("panic: %v", rec),
+			}
+		}
+	}()
+	return Run(j.System, j.Factory.New(), j.Threads, j.Opt)
+}
+
+// sweepError collects the failing cells of a completed sweep.
+func sweepError(results []Result) error {
+	var cells []CellError
+	for _, res := range results {
+		if res.Err != nil {
+			cells = append(cells, CellError{
+				Workload: res.Workload,
+				System:   res.System,
+				Threads:  res.Threads,
+				Err:      res.Err,
+			})
+		}
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+	return &SweepError{Total: len(results), Cells: cells}
+}
+
+// mergeSweepErrors combines the per-phase errors of a multi-part
+// experiment into one aggregated report.
+func mergeSweepErrors(errs ...error) error {
+	var total int
+	var cells []CellError
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var se *SweepError
+		if errors.As(err, &se) {
+			total += se.Total
+			cells = append(cells, se.Cells...)
+			continue
+		}
+		return err
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+	return &SweepError{Total: total, Cells: cells}
+}

@@ -48,8 +48,9 @@ func (s SeedStats) MinMax() (lo, hi float64) {
 // Figure5Seeds runs the Figure 5 sweep across machine seeds 1..seeds and
 // aggregates per cell. Workload inputs are workload-seeded (fixed), so
 // the spread reflects timing/interleaving sensitivity — the simulator's
-// analogue of run-to-run variance.
-func Figure5Seeds(opt Options, scale Scale, seeds int) []SeedStats {
+// analogue of run-to-run variance. Each per-seed sweep fans out across
+// the Runner's worker pool.
+func (r *Runner) Figure5Seeds(opt Options, scale Scale, seeds int) ([]SeedStats, error) {
 	type key struct {
 		w string
 		s SystemKind
@@ -57,10 +58,13 @@ func Figure5Seeds(opt Options, scale Scale, seeds int) []SeedStats {
 	}
 	acc := map[key]*SeedStats{}
 	var order []key
+	var errs []error
 	for seed := 1; seed <= seeds; seed++ {
 		o := opt
 		o.Params.Seed = uint64(seed)
-		for _, d := range Figure5(o, scale) {
+		data, err := r.Figure5(o, scale)
+		errs = append(errs, err)
+		for _, d := range data {
 			for _, sys := range Figure5Systems {
 				for _, th := range ThreadCounts(scale) {
 					k := key{d.Workload, sys, th}
@@ -79,7 +83,7 @@ func Figure5Seeds(opt Options, scale Scale, seeds int) []SeedStats {
 	for _, k := range order {
 		out = append(out, *acc[k])
 	}
-	return out
+	return out, mergeSweepErrors(errs...)
 }
 
 // PrintSeedStats renders the aggregate.

@@ -7,7 +7,10 @@ import (
 
 func TestFigure5SeedsAggregates(t *testing.T) {
 	opt := testOptions()
-	stats := Figure5Seeds(opt, ScaleSmall, 2)
+	stats, err := Parallel(0).Figure5Seeds(opt, ScaleSmall, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 5 * len(Figure5Systems) * len(ThreadCounts(ScaleSmall))
 	if len(stats) != want {
 		t.Fatalf("cells = %d, want %d", len(stats), want)
@@ -48,7 +51,10 @@ func TestSeedStatsMath(t *testing.T) {
 
 func TestWriteFigure5CSV(t *testing.T) {
 	opt := testOptions()
-	data := Figure5(opt, ScaleSmall)
+	data, err := Parallel(0).Figure5(opt, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sb strings.Builder
 	if err := WriteFigure5CSV(&sb, data, ScaleSmall); err != nil {
 		t.Fatal(err)
