@@ -38,16 +38,12 @@ func main() {
 		}
 		mk = func() stamp.Workload { return stamp.NewFailover(tasks, *rate) }
 	} else {
-		all := append(harness.Benchmarks(scale), harness.ExtendedBenchmarks(scale)...)
-		for _, f := range all {
-			if f.Name == *workload {
-				mk = f.New
-			}
-		}
-		if mk == nil {
+		f, ok := harness.FindWorkload(*workload, scale)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "tmprobe: unknown workload %q\n", *workload)
 			os.Exit(2)
 		}
+		mk = f.New
 	}
 
 	start := time.Now()

@@ -18,15 +18,30 @@
 // cell owns its simulated machine and RNG seed, so the output is
 // bit-identical for every worker count. -progress reports cells
 // done/total with an ETA on stderr.
+//
+// Observability (see OBSERVABILITY.md):
+//
+//	tmsim -experiment fig5 -metrics-out fig5.json
+//	    also writes every sweep cell's metrics snapshot plus the
+//	    deterministic aggregate as JSON (byte-identical for every
+//	    -parallel value).
+//	tmsim -trace-out t.json -trace-format chrome [-trace-workload genome
+//	      -trace-system ufo-hybrid -trace-threads 4]
+//	    runs that single cell with machine tracing and exports the trace
+//	    (text, jsonl, or a Perfetto/about://tracing-loadable Chrome
+//	    trace with one track per simulated processor) instead of running
+//	    experiments. -metrics-out composes with it.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/machine"
 )
 
 func main() {
@@ -37,6 +52,13 @@ func main() {
 	csvPath := flag.String("csv", "", "also write the fig5 sweep as CSV to this file")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = one per CPU, 1 = serial)")
 	progress := flag.Bool("progress", false, "report sweep progress (cells done/total, ETA) on stderr")
+	metricsOut := flag.String("metrics-out", "", "write per-cell + aggregate metrics JSON to this file")
+	traceOut := flag.String("trace-out", "", "run one traced cell and write its machine trace to this file (skips experiments)")
+	traceFormat := flag.String("trace-format", "text", "trace export format: text | jsonl | chrome")
+	traceWorkload := flag.String("trace-workload", "genome", "workload for the traced cell")
+	traceSystem := flag.String("trace-system", "ufo-hybrid", "TM system for the traced cell")
+	traceThreads := flag.Int("trace-threads", 4, "thread count for the traced cell")
+	traceLimit := flag.Int("trace-limit", 1<<20, "max trace events retained (ring buffer)")
 	flag.Parse()
 
 	scale := harness.ScaleFull
@@ -67,6 +89,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *traceOut != "" {
+		fail(runTraced(opt, scale, tracedCell{
+			workload: *traceWorkload,
+			system:   harness.SystemKind(*traceSystem),
+			threads:  *traceThreads,
+			limit:    *traceLimit,
+			out:      *traceOut,
+			format:   *traceFormat,
+			metrics:  *metricsOut,
+		}))
+		return
+	}
+
+	var rep harness.MetricsReport
+	if *metricsOut != "" {
+		runner.Collect = rep.Collector()
 	}
 
 	run := func(name string) {
@@ -126,7 +166,92 @@ func main() {
 		for _, name := range []string{"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended", "footprints"} {
 			run(name)
 		}
-		return
+	} else {
+		run(*experiment)
 	}
-	run(*experiment)
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		fail(err)
+		fail(rep.WriteJSON(f))
+		fail(f.Close())
+		fmt.Printf("  [metrics for %d cells written to %s]\n", len(rep.Cells), *metricsOut)
+	}
+}
+
+// tracedCell describes the single cell -trace-out runs instead of a sweep.
+type tracedCell struct {
+	workload string
+	system   harness.SystemKind
+	threads  int
+	limit    int
+	out      string
+	format   string
+	metrics  string
+}
+
+// newSink builds the TraceSink selected by -trace-format.
+func newSink(format string, w io.Writer) (machine.TraceSink, error) {
+	switch format {
+	case "text":
+		return machine.NewTextSink(w), nil
+	case "jsonl":
+		return machine.NewJSONLSink(w), nil
+	case "chrome":
+		return machine.NewChromeSink(w), nil
+	default:
+		return nil, fmt.Errorf("unknown trace format %q (want text, jsonl, or chrome)", format)
+	}
+}
+
+// runTraced runs one designated cell with tracing enabled and exports
+// the trace through the chosen sink. With -metrics-out it also writes
+// the cell's metrics snapshot as a one-cell report.
+func runTraced(opt harness.Options, scale harness.Scale, c tracedCell) error {
+	f, ok := harness.FindWorkload(c.workload, scale)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", c.workload)
+	}
+	opt.TraceLimit = c.limit
+	start := time.Now()
+	res := harness.Run(c.system, f.New(), c.threads, opt)
+	if res.Err != nil {
+		return fmt.Errorf("%s/%s/%d: %w", c.workload, c.system, c.threads, res.Err)
+	}
+	out, err := os.Create(c.out)
+	if err != nil {
+		return err
+	}
+	sink, err := newSink(c.format, out)
+	if err != nil {
+		out.Close()
+		return err
+	}
+	if err := res.Trace.Export(sink); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  [%s/%s/%d threads: %d cycles, %d trace events (%s) written to %s in %v]\n",
+		c.workload, c.system, c.threads, res.Cycles, res.Trace.Total(), c.format, c.out,
+		time.Since(start).Round(time.Millisecond))
+	if c.metrics != "" {
+		var rep harness.MetricsReport
+		rep.Collector()(harness.Job{}, res)
+		mf, err := os.Create(c.metrics)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  [metrics written to %s]\n", c.metrics)
+	}
+	return nil
 }

@@ -1,5 +1,5 @@
 // Package btm implements BTM, the paper's "best-effort" hardware
-// transactional memory (Section 3.1): transactions execute entirely in
+// transactional memory (§3.1): transactions execute entirely in
 // the L1 with speculative read/write tracking, abort on set overflow,
 // interrupt, system call, I/O, exception, or coherence conflict, support
 // only flattened nesting, and expose their fate through status registers

@@ -9,6 +9,9 @@
 // and UFO bits is in package mem; because the simulation engine serializes
 // processors at memory-operation granularity, caches only need to model
 // presence, not values.
+//
+// Paper: §3.1 (L1 capacity bounds BTM) and §5.1 (simulated hierarchy,
+// Table 4 parameters).
 package cache
 
 import "fmt"

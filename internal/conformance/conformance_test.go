@@ -1,6 +1,8 @@
 // Package conformance runs identical transactional workloads across every
 // TM system in the repository and checks that they all preserve the same
 // invariants — the property that lets the harness compare them fairly.
+//
+// Paper: §2 (the atomicity semantics every system must agree on).
 package conformance
 
 import (

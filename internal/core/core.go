@@ -1,5 +1,5 @@
 // Package core implements the paper's primary contribution: the UFO
-// hybrid transactional memory (Section 4.3). Transactions first execute
+// hybrid transactional memory (§4.3). Transactions first execute
 // as zero-instrumentation BTM hardware transactions; transactions that
 // hardware cannot complete fail over to the strongly-atomic USTM.
 //
@@ -15,7 +15,7 @@
 // fail-to-software (overflow, syscall, I/O, exception, nesting, explicit),
 // retry-in-hardware with exponential backoff (interrupt, conflict,
 // UFO-kill, UFO-fault, nonT-conflict), or resolve-then-retry (page
-// fault). Section 4.4's contention-management findings are exposed as
+// fault). §4.4's contention-management findings are exposed as
 // Policy knobs so the Figure 8 sensitivity study can be reproduced.
 package core
 

@@ -3,12 +3,15 @@
 // artifacts: the Figure 5 speedup curves, the Figure 6 abort-reason
 // breakdown, the Figure 7 software-failover microbenchmark, and the
 // Figure 8 contention-policy sensitivity study.
+//
+// Paper: §5 (evaluation methodology and every figure therein).
 package harness
 
 import (
 	"repro/internal/core"
 	"repro/internal/hytm"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/phtm"
 	"repro/internal/seq"
 	"repro/internal/stamp"
@@ -112,6 +115,7 @@ type Result struct {
 	Cycles   uint64
 	Stats    tm.Stats
 	Machine  machine.Counters
+	Metrics  *obs.Snapshot  // the cell's full metrics snapshot (OBSERVABILITY.md)
 	Trace    *machine.Trace // non-nil when Options.TraceLimit > 0
 	Err      error          // non-nil if the workload invariant failed
 }
@@ -143,6 +147,9 @@ func Run(kind SystemKind, wl stamp.Workload, threads int, opt Options) Result {
 		bodies[i] = func(*machine.Proc) { wl.Thread(tid, ex) }
 	}
 	m.Run(bodies)
+	reg := obs.NewRegistry()
+	sys.Stats().Register(reg)
+	m.RegisterMetrics(reg)
 	return Result{
 		System:   kind,
 		Workload: wl.Name(),
@@ -150,6 +157,7 @@ func Run(kind SystemKind, wl stamp.Workload, threads int, opt Options) Result {
 		Cycles:   m.Cycles(),
 		Stats:    *sys.Stats(),
 		Machine:  m.Count,
+		Metrics:  reg.Snapshot(),
 		Trace:    tr,
 		Err:      wl.Validate(m),
 	}

@@ -81,6 +81,11 @@ type Runner struct {
 	// Invocations are serialized by the Runner and Done is strictly
 	// increasing, so the callback needs no locking of its own.
 	Progress func(Progress)
+	// Collect, when non-nil, is invoked once per cell after the whole
+	// sweep completes, in job order regardless of which worker finished
+	// the cell when — so anything it accumulates (e.g. a MetricsReport)
+	// is deterministic across worker counts. Invocations are serialized.
+	Collect func(Job, Result)
 }
 
 // Serial returns a one-worker Runner: the exact serial execution order.
@@ -146,6 +151,11 @@ func (r *Runner) Execute(jobs []Job) ([]Result, error) {
 	}
 	close(indexes)
 	wg.Wait()
+	if r != nil && r.Collect != nil {
+		for i := range jobs {
+			r.Collect(jobs[i], results[i])
+		}
+	}
 	return results, sweepError(results)
 }
 

@@ -1,5 +1,5 @@
 // Package hytm implements the HyTM baseline (Damron et al., as modeled in
-// the paper's Section 5): a hybrid whose hardware transactions are
+// the paper's §5): a hybrid whose hardware transactions are
 // instrumented with read/write barriers that inspect the STM's ownership
 // table to avoid violating software-transaction atomicity.
 //

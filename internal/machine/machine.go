@@ -18,6 +18,8 @@
 // Higher layers (internal/btm, internal/ustm, internal/core, ...) express
 // TM policy; this package only provides mechanism, following the paper's
 // "primitives, not solutions" philosophy.
+//
+// Paper: §3 (the two primitives) and §4 (how the hybrid composes them).
 package machine
 
 import (
@@ -218,6 +220,7 @@ type Machine struct {
 	procs []*Proc
 	txSeq uint64
 	trace *Trace
+	sinks []TraceSink
 }
 
 // New builds a machine from params.

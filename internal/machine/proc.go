@@ -22,6 +22,7 @@ type HWTx struct {
 
 	pendingAbort AbortReason
 	abortAddr    uint64
+	abortHasAddr bool
 }
 
 // Footprint returns the number of distinct lines read or written.
@@ -123,7 +124,7 @@ func (p *Proc) BeginHW(age uint64, bounded bool) {
 		WriteSet: make(map[uint64]struct{}),
 		Spec:     make(map[uint64]uint64),
 	}
-	p.record(TraceHWBegin, AbortNone, 0, age)
+	p.record(TraceHWBegin, AbortNone, 0, age, FlagAge)
 }
 
 // CommitHW atomically publishes the transaction's speculative writes and
@@ -142,7 +143,7 @@ func (p *Proc) CommitHW() Outcome {
 	}
 	p.m.Count.HWCommits++
 	p.m.Count.HWFootprint.Add(t.Footprint())
-	p.record(TraceHWCommit, AbortNone, 0, t.Age)
+	p.record(TraceHWCommit, AbortNone, 0, t.Age, FlagAge)
 	p.hw = nil
 	return okOutcome
 }
@@ -155,7 +156,7 @@ func (p *Proc) AbortHW(reason AbortReason) {
 	if t == nil {
 		panic("machine: AbortHW with no transaction")
 	}
-	p.killHW(p, reason, 0)
+	p.killHW(p, reason, 0, false)
 	p.consumeAbort()
 }
 
@@ -165,7 +166,11 @@ func (p *Proc) consumeAbort() Outcome {
 	t := p.hw
 	reason, addr := t.pendingAbort, t.abortAddr
 	p.m.Count.HWAbortsByReason[reason]++
-	p.record(TraceHWAbort, reason, addr, t.Age)
+	flags := FlagAge
+	if t.abortHasAddr {
+		flags |= FlagAddr
+	}
+	p.record(TraceHWAbort, reason, addr, t.Age, flags)
 	p.hw = nil
 	return Outcome{Kind: HWAborted, Reason: reason, Addr: addr}
 }
@@ -173,13 +178,16 @@ func (p *Proc) consumeAbort() Outcome {
 // killHW flash-clears victim's transactional state and records the abort
 // reason for delivery at the victim's next transactional operation. killer
 // is the processor performing the conflicting action (may equal victim).
-func (p *Proc) killHW(victim *Proc, reason AbortReason, addr uint64) {
+// hasAddr states whether addr names a real conflicting address — address
+// 0 is a legal simulated address, so absence is tracked explicitly.
+func (p *Proc) killHW(victim *Proc, reason AbortReason, addr uint64, hasAddr bool) {
 	t := victim.hw
 	if t == nil || t.pendingAbort != AbortNone {
 		return
 	}
 	t.pendingAbort = reason
 	t.abortAddr = addr
+	t.abortHasAddr = hasAddr
 	// Speculatively written lines are invalidated on abort (they were
 	// never globally visible); the read set simply loses its SR bits.
 	for l := range t.WriteSet {
@@ -195,7 +203,7 @@ func (p *Proc) killHW(victim *Proc, reason AbortReason, addr uint64) {
 // hardware transaction cannot survive an interrupt (Section 3.1).
 func (p *Proc) timerInterrupt() {
 	if p.hw != nil {
-		p.killHW(p, AbortInterrupt, 0)
+		p.killHW(p, AbortInterrupt, 0, false)
 	}
 }
 
@@ -230,7 +238,7 @@ func (p *Proc) access(addr uint64, write, tx bool) Outcome {
 	// completes, so a faulting access has no architectural effect.
 	if p.ufo && p.m.Mem.Faults(addr, write) {
 		p.m.Count.UFOFaults++
-		p.record(TraceUFOFault, AbortNone, addr, 0)
+		p.record(TraceUFOFault, AbortNone, addr, 0, FlagAddr)
 		p.sp.Elapse(p.m.L1HitCycles) // the tag check that detected the fault
 		return Outcome{Kind: UFOFault, Addr: addr}
 	}
@@ -296,7 +304,7 @@ func (p *Proc) resolveConflicts(line uint64, write, tx bool) (Outcome, bool) {
 					p.m.Count.ConflictHTMOlder++
 				}
 			}
-			p.killHW(q, AbortNonTConflict, mem.LineAddr(line))
+			p.killHW(q, AbortNonTConflict, mem.LineAddr(line), true)
 		}
 		return okOutcome, true
 	}
@@ -305,13 +313,13 @@ func (p *Proc) resolveConflicts(line uint64, write, tx bool) (Outcome, bool) {
 		for _, q := range victims {
 			if q.hw.Age < p.hw.Age {
 				p.m.Count.Nacks++
-				p.record(TraceNack, AbortNone, mem.LineAddr(line), p.hw.Age)
+				p.record(TraceNack, AbortNone, mem.LineAddr(line), p.hw.Age, FlagAddr|FlagAge)
 				return Outcome{Kind: Nacked}, false
 			}
 		}
 	}
 	for _, q := range victims {
-		p.killHW(q, AbortConflict, mem.LineAddr(line))
+		p.killHW(q, AbortConflict, mem.LineAddr(line), true)
 	}
 	return okOutcome, true
 }
@@ -340,7 +348,7 @@ func (p *Proc) charge(line uint64, write bool) {
 				_, inW := p.hw.WriteSet[victim]
 				if inR || inW {
 					// Evicting a transactional line overflows BTM.
-					p.killHW(p, AbortOverflow, mem.LineAddr(victim))
+					p.killHW(p, AbortOverflow, mem.LineAddr(victim), true)
 				}
 			}
 		}
@@ -480,10 +488,10 @@ func (p *Proc) ufoUpdate(addr uint64, apply func(), bits mem.UFOBits) {
 				p.m.Count.ConflictHTMOlder++
 			}
 		}
-		p.killHW(q, AbortUFOKill, mem.LineAddr(line))
+		p.killHW(q, AbortUFOKill, mem.LineAddr(line), true)
 	}
 	apply()
-	p.record(TraceUFOSet, AbortNone, addr, 0)
+	p.record(TraceUFOSet, AbortNone, addr, 0, FlagAddr)
 	p.sp.Elapse(cost)
 }
 

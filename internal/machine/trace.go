@@ -35,6 +35,20 @@ func (k TraceKind) String() string {
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }
 
+// TraceFlags marks which optional TraceEvent fields carry real values.
+// Address 0 and age 0 are legitimate values (the first line of simulated
+// memory; pre-age bookkeeping events), so "present" must be recorded
+// explicitly rather than inferred from zero.
+type TraceFlags uint8
+
+// The flag bits.
+const (
+	// FlagAddr: the Addr field is meaningful.
+	FlagAddr TraceFlags = 1 << iota
+	// FlagAge: the Age field is meaningful.
+	FlagAge
+)
+
 // TraceEvent is one recorded event.
 type TraceEvent struct {
 	Cycle  uint64
@@ -43,20 +57,25 @@ type TraceEvent struct {
 	Reason AbortReason // for aborts
 	Addr   uint64      // for ufo-set / ufo-fault / conflict addresses
 	Age    uint64      // transaction age, where applicable
+	Flags  TraceFlags  // which of Addr/Age are set
 }
+
+// HasAddr reports whether Addr carries a real address (address 0 counts).
+func (e TraceEvent) HasAddr() bool { return e.Flags&FlagAddr != 0 }
+
+// HasAge reports whether Age carries a real transaction age.
+func (e TraceEvent) HasAge() bool { return e.Flags&FlagAge != 0 }
 
 func (e TraceEvent) String() string {
 	s := fmt.Sprintf("%10d  p%-2d %-9s", e.Cycle, e.Proc, e.Kind)
 	switch e.Kind {
 	case TraceHWAbort, TraceSWAbort:
 		s += fmt.Sprintf(" reason=%s", e.Reason)
-		if e.Addr != 0 {
-			s += fmt.Sprintf(" addr=%#x", e.Addr)
-		}
-	case TraceUFOSet, TraceUFOFault:
+	}
+	if e.HasAddr() {
 		s += fmt.Sprintf(" addr=%#x", e.Addr)
 	}
-	if e.Age != 0 {
+	if e.HasAge() {
 		s += fmt.Sprintf(" age=%d", e.Age)
 	}
 	return s
@@ -119,19 +138,26 @@ func (t *Trace) Dump(w io.Writer) {
 	}
 }
 
-// record is the machine-side hook (no-op when tracing is off).
-func (p *Proc) record(kind TraceKind, reason AbortReason, addr, age uint64) {
-	if p.m.trace == nil {
+// record is the machine-side hook (no-op when tracing is off). flags
+// states which of addr/age are meaningful for this event.
+func (p *Proc) record(kind TraceKind, reason AbortReason, addr, age uint64, flags TraceFlags) {
+	if p.m.trace == nil && len(p.m.sinks) == 0 {
 		return
 	}
-	p.m.trace.add(TraceEvent{
+	e := TraceEvent{
 		Cycle: p.Now(), Proc: p.ID(), Kind: kind,
-		Reason: reason, Addr: addr, Age: age,
-	})
+		Reason: reason, Addr: addr, Age: age, Flags: flags,
+	}
+	if p.m.trace != nil {
+		p.m.trace.add(e)
+	}
+	for _, s := range p.m.sinks {
+		s.Event(e)
+	}
 }
 
 // RecordSW lets software TMs log their transaction lifecycle into the
 // shared trace.
 func (p *Proc) RecordSW(kind TraceKind, reason AbortReason, age uint64) {
-	p.record(kind, reason, 0, age)
+	p.record(kind, reason, 0, age, FlagAge)
 }

@@ -1,0 +1,293 @@
+package machine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// TraceSink consumes trace events, either streamed live from the machine
+// (Machine.AddTraceSink) or replayed from a recorded ring (Trace.Export).
+// Sinks buffer internally and surface I/O errors from Close, so the
+// simulated hot path never blocks on error handling.
+type TraceSink interface {
+	// Event consumes one event. Implementations must not retain e.
+	Event(e TraceEvent)
+	// Close flushes the sink and returns the first error encountered.
+	Close() error
+}
+
+// AddTraceSink streams every subsequent trace event into sink, in
+// addition to (and independently of) the bounded ring enabled by
+// EnableTrace. Add sinks before Run; the machine never closes them.
+func (m *Machine) AddTraceSink(sink TraceSink) {
+	m.sinks = append(m.sinks, sink)
+}
+
+// Export replays the recorded events (oldest first) into sink and closes
+// it. Events evicted from the ring are gone; ChromeSink handles the
+// resulting orphaned commits/aborts gracefully.
+func (t *Trace) Export(sink TraceSink) error {
+	for _, e := range t.Events() {
+		sink.Event(e)
+	}
+	return sink.Close()
+}
+
+// --- Text sink ---
+
+// TextSink writes the human-readable event format (TraceEvent.String),
+// one event per line — the same format Trace.Dump has always produced.
+type TextSink struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewTextSink returns a text sink over w.
+func NewTextSink(w io.Writer) *TextSink {
+	return &TextSink{w: bufio.NewWriter(w)}
+}
+
+// Event implements TraceSink.
+func (s *TextSink) Event(e TraceEvent) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = fmt.Fprintln(s.w, e)
+}
+
+// Close implements TraceSink.
+func (s *TextSink) Close() error {
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// --- JSONL sink ---
+
+// JSONLSink writes one JSON object per event, with a fixed field order:
+//
+//	{"cycle":12,"proc":0,"kind":"hw-abort","reason":"conflict","addr":"0x1c0","age":3}
+//
+// "reason" appears only on aborts; "addr" and "age" appear exactly when
+// the event carries them (address 0 and age 0 included — see TraceFlags).
+// The line format is stable and documented in OBSERVABILITY.md.
+type JSONLSink struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink returns a JSONL sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Event implements TraceSink.
+func (s *JSONLSink) Event(e TraceEvent) {
+	if s.err != nil {
+		return
+	}
+	buf := make([]byte, 0, 96)
+	buf = append(buf, `{"cycle":`...)
+	buf = strconv.AppendUint(buf, e.Cycle, 10)
+	buf = append(buf, `,"proc":`...)
+	buf = strconv.AppendInt(buf, int64(e.Proc), 10)
+	buf = append(buf, `,"kind":`...)
+	buf = strconv.AppendQuote(buf, e.Kind.String())
+	if e.Kind == TraceHWAbort || e.Kind == TraceSWAbort {
+		buf = append(buf, `,"reason":`...)
+		buf = strconv.AppendQuote(buf, e.Reason.String())
+	}
+	if e.HasAddr() {
+		buf = append(buf, `,"addr":`...)
+		buf = strconv.AppendQuote(buf, "0x"+strconv.FormatUint(e.Addr, 16))
+	}
+	if e.HasAge() {
+		buf = append(buf, `,"age":`...)
+		buf = strconv.AppendUint(buf, e.Age, 10)
+	}
+	buf = append(buf, '}', '\n')
+	_, s.err = s.w.Write(buf)
+}
+
+// Close implements TraceSink.
+func (s *JSONLSink) Close() error {
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// --- Chrome trace_event sink ---
+
+// chromeOpen tracks an in-flight transaction on one simulated processor.
+type chromeOpen struct {
+	begin uint64
+	age   uint64
+	hw    bool
+}
+
+// ChromeSink writes the Chrome trace_event JSON format (loadable in
+// Perfetto / about://tracing), with one track ("thread") per simulated
+// processor under a single "tmsim machine" process:
+//
+//   - HW and SW transaction lifetimes become complete ("X") duration
+//     events named "hw-tx" / "sw-tx", spanning begin → commit/abort, with
+//     the age, outcome, abort reason, and conflict address in args; and
+//   - ufo-set, ufo-fault, nack, block, and wake become thread-scoped
+//     instant ("i") events.
+//
+// Timestamps are simulated cycles written as microseconds (1 cycle =
+// 1 µs), so Perfetto's time axis reads directly in cycles. Commits or
+// aborts whose begin was evicted from a bounded ring are emitted as
+// instant events rather than dropped.
+type ChromeSink struct {
+	w     *bufio.Writer
+	err   error
+	wrote bool // at least one event emitted
+	open  map[int]chromeOpen
+	named map[int]bool
+}
+
+// NewChromeSink returns a Chrome trace_event sink over w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{
+		w:     bufio.NewWriter(w),
+		open:  make(map[int]chromeOpen),
+		named: make(map[int]bool),
+	}
+}
+
+// emit writes one trace_event object, handling the array framing.
+func (s *ChromeSink) emit(body string) {
+	if s.err != nil {
+		return
+	}
+	if !s.wrote {
+		if _, s.err = s.w.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); s.err != nil {
+			return
+		}
+		s.wrote = true
+	} else {
+		if _, s.err = s.w.WriteString(",\n"); s.err != nil {
+			return
+		}
+	}
+	_, s.err = s.w.WriteString(body)
+}
+
+// nameTrack emits the per-processor metadata events once per track.
+func (s *ChromeSink) nameTrack(proc int) {
+	if s.named[proc] {
+		return
+	}
+	s.named[proc] = true
+	if len(s.named) == 1 {
+		s.emit(`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"tmsim machine"}}`)
+	}
+	s.emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"proc %d"}}`, proc, proc))
+	s.emit(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":0,"tid":%d,"args":{"sort_index":%d}}`, proc, proc))
+}
+
+// txArgs renders the args object for a completed transaction span.
+func txArgs(e TraceEvent, open chromeOpen, outcome string) string {
+	args := fmt.Sprintf(`"age":%d,"outcome":%q`, open.age, outcome)
+	if outcome == "abort" {
+		args += fmt.Sprintf(`,"reason":%q`, e.Reason.String())
+		if e.HasAddr() {
+			args += fmt.Sprintf(`,"addr":"0x%x"`, e.Addr)
+		}
+	}
+	return args
+}
+
+// Event implements TraceSink.
+func (s *ChromeSink) Event(e TraceEvent) {
+	s.nameTrack(e.Proc)
+	switch e.Kind {
+	case TraceHWBegin, TraceSWBegin:
+		// A begin while a transaction is open means the previous span's
+		// end was lost (ring eviction); close it at this cycle.
+		if prev, ok := s.open[e.Proc]; ok {
+			s.closeSpan(e.Proc, prev, e.Cycle, `"outcome":"truncated"`)
+		}
+		s.open[e.Proc] = chromeOpen{begin: e.Cycle, age: e.Age, hw: e.Kind == TraceHWBegin}
+	case TraceHWCommit, TraceSWCommit, TraceHWAbort, TraceSWAbort:
+		outcome := "commit"
+		if e.Kind == TraceHWAbort || e.Kind == TraceSWAbort {
+			outcome = "abort"
+		}
+		open, ok := s.open[e.Proc]
+		if !ok {
+			// Begin evicted from the ring: keep the event as an instant.
+			s.instant(e)
+			return
+		}
+		delete(s.open, e.Proc)
+		s.closeSpan(e.Proc, open, e.Cycle, txArgs(e, open, outcome))
+	default:
+		s.instant(e)
+	}
+}
+
+// closeSpan emits a complete ("X") event for a transaction span.
+func (s *ChromeSink) closeSpan(proc int, open chromeOpen, end uint64, args string) {
+	name := "hw-tx"
+	if !open.hw {
+		name = "sw-tx"
+	}
+	s.emit(fmt.Sprintf(`{"name":%q,"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"args":{%s}}`,
+		name, proc, open.begin, end-open.begin, args))
+}
+
+// instant emits a thread-scoped instant ("i") event.
+func (s *ChromeSink) instant(e TraceEvent) {
+	args := ""
+	if e.Kind == TraceHWAbort || e.Kind == TraceSWAbort {
+		args = fmt.Sprintf(`"reason":%q`, e.Reason.String())
+	}
+	if e.HasAddr() {
+		if args != "" {
+			args += ","
+		}
+		args += fmt.Sprintf(`"addr":"0x%x"`, e.Addr)
+	}
+	if e.HasAge() {
+		if args != "" {
+			args += ","
+		}
+		args += fmt.Sprintf(`"age":%d`, e.Age)
+	}
+	s.emit(fmt.Sprintf(`{"name":%q,"ph":"i","s":"t","pid":0,"tid":%d,"ts":%d,"args":{%s}}`,
+		e.Kind.String(), e.Proc, e.Cycle, args))
+}
+
+// Close implements TraceSink: still-open transaction spans are flushed as
+// truncated (the run ended mid-transaction), the array is closed, and the
+// writer flushed.
+func (s *ChromeSink) Close() error {
+	procs := make([]int, 0, len(s.open))
+	for p := range s.open {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		open := s.open[p]
+		s.closeSpan(p, open, open.begin, `"outcome":"truncated"`)
+	}
+	if s.err == nil {
+		if !s.wrote {
+			_, s.err = s.w.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+		}
+		if s.err == nil {
+			_, s.err = s.w.WriteString("\n]}\n")
+		}
+	}
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}

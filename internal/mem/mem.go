@@ -1,8 +1,8 @@
 // Package mem models the simulated machine's physical memory, including
-// the paper's UFO extension: two user-fault-on bits (fault-on-read and
-// fault-on-write) per 64-byte line that travel with the data through the
-// whole memory hierarchy — caches, DRAM, and the swap file (Appendix A of
-// the paper).
+// the paper's UFO extension (§3.2, §4): two user-fault-on bits
+// (fault-on-read and fault-on-write) per 64-byte line that travel with
+// the data through the whole memory hierarchy — caches, DRAM, and the
+// swap file (Appendix A of the paper).
 //
 // Addresses are byte addresses; data is accessed at 64-bit-word
 // granularity and must be 8-byte aligned. The UFO bits here are the single

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count", "events", "help text")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	g := r.Gauge("a.gauge", "cycles", "")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("a.hist", "lines", "")
+	for _, v := range []uint64{0, 1, 2, 3, 8, 1 << 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+
+	// Re-registration returns the same instance.
+	if r.Counter("a.count", "", "") != c {
+		t.Fatal("re-registered counter is a different instance")
+	}
+
+	s := r.Snapshot()
+	if s.Schema != SchemaVersion {
+		t.Fatalf("schema = %q", s.Schema)
+	}
+	if got := s.Get("a.count"); got == nil || got.Value != 4 || got.Unit != "events" {
+		t.Fatalf("snapshot counter = %+v", got)
+	}
+	hs := s.Get("a.hist")
+	if hs == nil || hs.Hist.Count != 6 || hs.Hist.Max != 1<<20 {
+		t.Fatalf("snapshot hist = %+v", hs)
+	}
+	// Buckets: 0 → b0; 1 → b1; 2 → b2; 3 → b2; 8 → b4; 2^20 → clamped last.
+	if hs.Hist.Buckets[0] != 1 || hs.Hist.Buckets[1] != 1 || hs.Hist.Buckets[2] != 2 || hs.Hist.Buckets[4] != 1 {
+		t.Fatalf("buckets = %v", hs.Hist.Buckets)
+	}
+	if hs.Hist.Buckets[len(hs.Hist.Buckets)-1] != 1 {
+		t.Fatalf("overflow bucket: %v", hs.Hist.Buckets)
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type conflict")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "", "")
+	r.Gauge("x", "", "")
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func(order []string) []byte {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter(n, "events", "").Add(7)
+		}
+		r.Histogram("h", "lines", "footprints").Observe(5)
+		r.Gauge("g", "ratio", "").Set(0.25)
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build([]string{"z", "a", "m"})
+	b := build([]string{"m", "z", "a"})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("registration order changed encoding:\n%s\nvs\n%s", a, b)
+	}
+	// The encoding must be valid JSON with fields in documented order.
+	var raw map[string]any
+	if err := json.Unmarshal(a, &raw); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !strings.Contains(string(a), `"schema": "`+SchemaVersion+`"`) {
+		t.Fatalf("schema missing:\n%s", a)
+	}
+}
+
+func TestMetricRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "events", "a counter").Add(9)
+	r.Gauge("g", "", "").Set(1.5)
+	h := r.Histogram("h", "lines", "")
+	h.Observe(3)
+	h.Observe(100)
+	s := r.Snapshot()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("round trip changed encoding:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("shared", "", "").Add(2)
+	r1.Counter("only1", "", "").Add(1)
+	h1 := r1.Histogram("h", "lines", "")
+	h1.Observe(4)
+
+	r2 := NewRegistry()
+	r2.Counter("shared", "", "").Add(5)
+	r2.Counter("only2", "", "").Add(3)
+	h2 := r2.Histogram("h", "lines", "")
+	h2.Observe(1000)
+
+	s := r1.Snapshot()
+	s.Add(r2.Snapshot())
+	if got := s.Get("shared").Value; got != 7 {
+		t.Fatalf("shared = %d, want 7", got)
+	}
+	if s.Get("only1").Value != 1 || s.Get("only2").Value != 3 {
+		t.Fatal("one-sided metrics lost")
+	}
+	h := s.Get("h").Hist
+	if h.Count != 2 || h.Sum != 1004 || h.Max != 1000 {
+		t.Fatalf("merged hist = %+v", h)
+	}
+	// Merge order must not matter for the encoded bytes.
+	s2 := r2.Snapshot()
+	s2.Add(r1.Snapshot())
+	var a, b bytes.Buffer
+	if err := s.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("merge order changed encoding:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestHistogramImport(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "lines", "")
+	h.Import(3, 10, 8, []uint64{1, 1, 0, 0, 1})
+	// A source with more buckets than we keep clamps into the last bucket.
+	long := make([]uint64, histBuckets+4)
+	long[histBuckets+3] = 2
+	h.Import(2, 100, 50, long)
+	s := r.Snapshot().Get("h").Hist
+	if s.Count != 5 || s.Sum != 110 || s.Max != 50 {
+		t.Fatalf("imported hist = %+v", s)
+	}
+	if s.Buckets[len(s.Buckets)-1] != 2 {
+		t.Fatalf("clamped buckets = %v", s.Buckets)
+	}
+}

@@ -1,5 +1,5 @@
 // Package phtm implements the PhTM baseline (Lev et al., as modeled in
-// the paper's Section 5): a phased hybrid that never runs hardware and
+// the paper's §5): a phased hybrid that never runs hardware and
 // software transactions concurrently. Hardware transactions read a global
 // count of in-flight software transactions transactionally at begin; any
 // transaction that must run in software flips the whole system into an

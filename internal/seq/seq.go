@@ -1,6 +1,6 @@
 // Package seq provides the two non-transactional baselines: a sequential
-// executor (the denominator of every speedup in the paper's Figure 5) and
-// a global-lock executor. Neither instruments memory accesses; Atomic
+// executor (the denominator of every speedup in the paper's §5 Figure 5)
+// and a global-lock executor. Neither instruments memory accesses; Atomic
 // bodies run directly against simulated memory.
 package seq
 

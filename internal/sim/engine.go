@@ -1,5 +1,6 @@
 // Package sim provides a deterministic, execution-driven multiprocessor
-// simulation engine.
+// simulation engine, the foundation of the paper's §5.1 simulation
+// methodology.
 //
 // Each simulated processor runs its workload on a dedicated goroutine, but
 // the engine globally serializes execution: exactly one processor goroutine

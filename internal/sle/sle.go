@@ -1,6 +1,6 @@
 // Package sle implements speculative lock elision on top of BTM — the
 // paper's point that its hardware-atomicity primitive is useful beyond
-// transactional memory (Section 3.1, citing Rajwar/Goodman): lock-based
+// transactional memory (§3.1, citing Rajwar/Goodman): lock-based
 // critical sections execute as hardware transactions that merely *read*
 // the lock word, so disjoint critical sections under the same lock run
 // concurrently; on repeated aborts the lock is acquired for real.

@@ -1,6 +1,6 @@
 // Package stamp re-implements the STAMP benchmarks the paper evaluates —
 // kmeans, vacation, and genome — against the generic tm.Exec interface,
-// plus the software-failover microbenchmark of Section 5.3. Each workload
+// plus the software-failover microbenchmark of §5.3. Each workload
 // fixes its total work independently of the thread count (work is divided
 // among threads), so speedups against the sequential baseline are
 // well-defined, and each workload validates a global invariant after the

@@ -1,5 +1,6 @@
 // Package tl2 implements the TL2 software TM of Dice, Shalev, and Shavit,
-// which the paper uses to link USTM's performance to published results.
+// which the paper's §5 evaluation uses to link USTM's performance to
+// published results.
 // TL2 is the algorithmic opposite of USTM on both axes: lazy versioning
 // (writes buffer in a redo log until commit) and commit-time conflict
 // detection (a global version clock plus per-stripe versioned write

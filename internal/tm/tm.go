@@ -4,12 +4,16 @@
 // provides, and that every workload is written against. Keeping workloads
 // generic over tm.System is what lets the harness reproduce the paper's
 // cross-system comparisons from a single workload implementation.
+//
+// Paper: §2 (programming interface and atomicity semantics) and §6 (the
+// retry waiting primitive).
 package tm
 
 import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Tx is the handle a transaction body uses for its shared-memory accesses.
@@ -146,6 +150,32 @@ func (s *Stats) Add(other *Stats) {
 
 // Commits returns total committed transactions.
 func (s *Stats) Commits() uint64 { return s.HWCommits + s.SWCommits }
+
+// Metric names exported by Register. OBSERVABILITY.md carries the full
+// field → metric cross-reference table.
+const (
+	MetricHWCommits = "tm.hw_commits"
+	MetricSWCommits = "tm.sw_commits"
+	MetricFailovers = "tm.failovers"
+	MetricSWAborts  = "tm.sw_aborts"
+	MetricSWStalls  = "tm.sw_stalls"
+	MetricNTStalls  = "tm.nt_stalls"
+	MetricRetries   = "tm.retries"
+	MetricHWRetries = "tm.hw_retries"
+)
+
+// Register copies the software-side counters into reg under the stable
+// tm.* metric names (see OBSERVABILITY.md for the schema).
+func (s *Stats) Register(reg *obs.Registry) {
+	reg.Counter(MetricHWCommits, "transactions", "transactions committed in hardware (Figure 5)").Add(s.HWCommits)
+	reg.Counter(MetricSWCommits, "transactions", "transactions committed in software (Figure 5)").Add(s.SWCommits)
+	reg.Counter(MetricFailovers, "transactions", "hardware-to-software failovers (Figure 7)").Add(s.Failovers)
+	reg.Counter(MetricSWAborts, "aborts", "software-transaction conflict kills").Add(s.SWAborts)
+	reg.Counter(MetricSWStalls, "events", "software-transaction stalls for an older conflictor").Add(s.SWStalls)
+	reg.Counter(MetricNTStalls, "events", "non-transactional accesses stalled on a UFO fault (Section 4.2)").Add(s.NTStalls)
+	reg.Counter(MetricRetries, "events", "Retry (transactional waiting) suspensions (Section 6)").Add(s.Retries)
+	reg.Counter(MetricHWRetries, "events", "hardware re-executions after a recoverable abort").Add(s.HWRetries)
+}
 
 func (s *Stats) String() string {
 	return fmt.Sprintf("hw=%d sw=%d failover=%d swAbort=%d stall=%d ntStall=%d retry=%d",

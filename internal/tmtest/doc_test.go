@@ -1,0 +1,53 @@
+package tmtest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryInternalPackageCitesPaperSection enforces the documentation
+// contract: every package under internal/ carries a package doc comment
+// that cites the paper section it implements ("§" notation), so a reader
+// can always navigate from code to the paper and back.
+func TestEveryInternalPackageCitesPaperSection(t *testing.T) {
+	internalDir := filepath.Join("..", "..", "internal")
+	entries, err := os.ReadDir(internalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(internalDir, e.Name())
+		if e.Name() == "testdata" {
+			continue
+		}
+		fset := token.NewFileSet()
+		// ParseDir includes _test.go files, which matters: test-only
+		// packages (internal/conformance) keep their doc comment in a
+		// _test.go file.
+		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		var doc string
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				if f.Doc != nil && len(f.Doc.Text()) > len(doc) {
+					doc = f.Doc.Text()
+				}
+			}
+		}
+		switch {
+		case doc == "":
+			t.Errorf("internal/%s has no package doc comment", e.Name())
+		case !strings.Contains(doc, "§"):
+			t.Errorf("internal/%s package doc does not cite a paper section (want a \"§\" reference)", e.Name())
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package tmtest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownRelativeLinksResolve checks every relative link in the
+// repository's markdown files points at a file that exists, so the doc
+// set (README, DESIGN, EXPERIMENTS, OBSERVABILITY, ...) can't silently
+// rot as files move.
+func TestMarkdownRelativeLinksResolve(t *testing.T) {
+	root := filepath.Join("..", "..")
+	var mdFiles []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				rel, _ := filepath.Rel(root, md)
+				t.Errorf("%s: broken relative link %q", rel, m[1])
+			}
+		}
+	}
+}

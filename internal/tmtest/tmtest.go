@@ -3,6 +3,9 @@
 // and writes, and a serializability checker that searches for a serial
 // order explaining the recorded history. Any TM implementation in this
 // repository can be dropped under the recorder and fuzzed.
+//
+// Paper: §2 (the serializability and strong-atomicity semantics the
+// checker enforces).
 package tmtest
 
 import (

@@ -7,6 +7,9 @@
 // Nodes are line-aligned: with cache-line-granularity conflict detection,
 // packing multiple nodes per line would create false conflicts that STAMP's
 // allocator avoids in practice.
+//
+// Paper: §5.2 (the STAMP workloads these structures serve) and §6
+// (transactional data-structure composition).
 package txlib
 
 import (

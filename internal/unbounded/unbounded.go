@@ -1,5 +1,5 @@
 // Package unbounded implements the idealized unbounded hardware TM the
-// paper compares against (Section 5): the BTM execution model with no
+// paper compares against (§5): the BTM execution model with no
 // footprint limit, flash abort, and a minimal abort handler that retries
 // every transaction in hardware (resolving page faults and interrupts by
 // re-execution). As in the paper, this is optimistic with respect to any

@@ -1,8 +1,8 @@
 // Package ustm implements USTM, the paper's eager-versioning,
 // eager-conflict-detection, cache-line-granularity software transactional
-// memory (Section 4.1), together with its strong-atomicity extension via
-// UFO memory protection (Section 4.2) and the retry transactional-waiting
-// primitive (Section 6).
+// memory (§4.1), together with its strong-atomicity extension via
+// UFO memory protection (§4.2) and the retry transactional-waiting
+// primitive (§6).
 //
 // USTM's shared state is an ownership table (otable): a chained hash table
 // with one record per cache line currently read or written by any software

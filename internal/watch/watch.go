@@ -1,7 +1,7 @@
 // Package watch implements iWatcher-style data watchpoints on top of UFO
 // — the application fine-grained memory protection was originally
 // proposed for, and the paper's evidence that UFO is a multi-purpose
-// primitive (Section 3.2): zero-overhead monitoring of arbitrary memory
+// primitive (§3.2): zero-overhead monitoring of arbitrary memory
 // in the common case of no triggers, with a software handler invoked on
 // watched accesses.
 package watch
