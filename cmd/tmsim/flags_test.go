@@ -1,0 +1,89 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestParseConfigValidation is the table-driven contract for tmsim's
+// flag validation: contradictory combinations are rejected with a clear
+// error before any simulation runs.
+func TestParseConfigValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; empty means the args must parse
+	}{
+		{"defaults", nil, ""},
+		{"sweep with outputs", []string{"-experiment", "fig5", "-scale", "small", "-metrics-out", "m.json"}, ""},
+		{"traced cell", []string{"-trace-out", "t.json", "-trace-format", "chrome", "-trace-workload", "genome", "-trace-system", "ufo-hybrid", "-trace-threads", "2"}, ""},
+		{"contention json", []string{"-contention-out", "c.json"}, ""},
+		{"contention tuned", []string{"-contention-out", "c.html", "-report", "html", "-contention-topk", "4", "-timeseries-window", "5000"}, ""},
+		{"contention with traced cell", []string{"-trace-out", "t.json", "-contention-out", "c.json"}, ""},
+		{"profiles", []string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out"}, ""},
+
+		{"unknown scale", []string{"-scale", "medium"}, "unknown scale"},
+		{"unknown experiment", []string{"-experiment", "fig9"}, "unknown experiment"},
+		{"negative seeds", []string{"-seeds", "-1"}, "-seeds"},
+		{"negative parallel", []string{"-parallel", "-2"}, "-parallel"},
+		{"positional junk", []string{"fig5"}, "unexpected arguments"},
+
+		{"trace-format without trace-out", []string{"-trace-format", "chrome"}, "-trace-format requires -trace-out"},
+		{"trace-workload without trace-out", []string{"-trace-workload", "genome"}, "-trace-workload requires -trace-out"},
+		{"trace-system without trace-out", []string{"-trace-system", "tl2"}, "-trace-system requires -trace-out"},
+		{"trace-threads without trace-out", []string{"-trace-threads", "2"}, "-trace-threads requires -trace-out"},
+		{"trace-limit without trace-out", []string{"-trace-limit", "64"}, "-trace-limit requires -trace-out"},
+		{"bad trace format", []string{"-trace-out", "t.json", "-trace-format", "xml"}, "unknown trace format"},
+		{"unknown trace workload", []string{"-trace-out", "t.json", "-trace-workload", "nope"}, "unknown workload"},
+		{"unknown trace system", []string{"-trace-out", "t.json", "-trace-system", "nope"}, "unknown system"},
+		{"bad trace threads", []string{"-trace-out", "t.json", "-trace-threads", "0"}, "-trace-threads"},
+		{"bad trace limit", []string{"-trace-out", "t.json", "-trace-limit", "0"}, "-trace-limit"},
+
+		{"report without contention-out", []string{"-report", "html"}, "-report requires -contention-out"},
+		{"topk without contention-out", []string{"-contention-topk", "4"}, "-contention-topk requires -contention-out"},
+		{"window without contention-out", []string{"-timeseries-window", "1000"}, "-timeseries-window requires -contention-out"},
+		{"bad report format", []string{"-contention-out", "c.json", "-report", "pdf"}, "unknown report format"},
+		{"zero topk", []string{"-contention-out", "c.json", "-contention-topk", "0"}, "-contention-topk"},
+		{"zero window with contention", []string{"-contention-out", "c.json", "-timeseries-window", "0"}, "-timeseries-window 0"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg, err := parseConfig(c.args, io.Discard)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseConfig(%v) = %v, want ok", c.args, err)
+				}
+				if cfg == nil {
+					t.Fatal("no config returned")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseConfig(%v) succeeded, want error containing %q", c.args, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %q, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseConfigDefaults: defaults land as documented.
+func TestParseConfigDefaults(t *testing.T) {
+	cfg, err := parseConfig(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.experiment != "all" || cfg.scaleName != "full" || cfg.seed != 1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.contentionTopK != 16 || cfg.timeseriesWindow != 100_000 || cfg.reportFormat != "json" {
+		t.Fatalf("contention defaults = topk %d window %d report %q",
+			cfg.contentionTopK, cfg.timeseriesWindow, cfg.reportFormat)
+	}
+	if len(cfg.set) != 0 {
+		t.Fatalf("set = %v, want empty", cfg.set)
+	}
+}

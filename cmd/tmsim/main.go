@@ -25,19 +25,36 @@
 //	    also writes every sweep cell's metrics snapshot plus the
 //	    deterministic aggregate as JSON (byte-identical for every
 //	    -parallel value).
+//	tmsim -experiment fig5 -contention-out fig5-cont.html -report html
+//	    also records conflict attribution — who-aborted-whom edges with
+//	    cache-line addresses and abort reasons — and writes per-cell
+//	    contention profiles (top-K hot lines, aggressor→victim matrices,
+//	    cycle-windowed abort time series) as JSON, self-contained HTML,
+//	    or plain text (-report json|html|text; -contention-topk,
+//	    -timeseries-window tune the profile). Byte-identical for every
+//	    -parallel value.
 //	tmsim -trace-out t.json -trace-format chrome [-trace-workload genome
 //	      -trace-system ufo-hybrid -trace-threads 4]
 //	    runs that single cell with machine tracing and exports the trace
 //	    (text, jsonl, or a Perfetto/about://tracing-loadable Chrome
 //	    trace with one track per simulated processor) instead of running
-//	    experiments. -metrics-out composes with it.
+//	    experiments. -metrics-out and -contention-out compose with it.
+//
+// Host profiling: -cpuprofile and -memprofile write runtime/pprof
+// profiles of tmsim itself (the simulator, not the simulated machine),
+// for finding hot spots in the simulation loop. See EXPERIMENTS.md.
+//
+// Contradictory flag combinations (for example -trace-format without
+// -trace-out, or -report without -contention-out) are rejected up front
+// with exit status 2.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
@@ -45,36 +62,39 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | ablate | extended | footprints | params | all")
-	scaleName := flag.String("scale", "full", "small | full")
-	seed := flag.Uint64("seed", 1, "machine RNG seed")
-	seeds := flag.Int("seeds", 0, "run fig5 across seeds 1..N and report mean/min/max")
-	csvPath := flag.String("csv", "", "also write the fig5 sweep as CSV to this file")
-	parallel := flag.Int("parallel", 0, "sweep worker count (0 = one per CPU, 1 = serial)")
-	progress := flag.Bool("progress", false, "report sweep progress (cells done/total, ETA) on stderr")
-	metricsOut := flag.String("metrics-out", "", "write per-cell + aggregate metrics JSON to this file")
-	traceOut := flag.String("trace-out", "", "run one traced cell and write its machine trace to this file (skips experiments)")
-	traceFormat := flag.String("trace-format", "text", "trace export format: text | jsonl | chrome")
-	traceWorkload := flag.String("trace-workload", "genome", "workload for the traced cell")
-	traceSystem := flag.String("trace-system", "ufo-hybrid", "TM system for the traced cell")
-	traceThreads := flag.Int("trace-threads", 4, "thread count for the traced cell")
-	traceLimit := flag.Int("trace-limit", 1<<20, "max trace events retained (ring buffer)")
-	flag.Parse()
-
-	scale := harness.ScaleFull
-	switch *scaleName {
-	case "full":
-	case "small":
-		scale = harness.ScaleSmall
-	default:
-		fmt.Fprintf(os.Stderr, "tmsim: unknown scale %q\n", *scaleName)
+	cfg, err := parseConfig(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
 		os.Exit(2)
 	}
-	opt := harness.DefaultOptions()
-	opt.Params.Seed = *seed
 
-	runner := harness.Parallel(*parallel)
-	if *progress {
+	// stopProfiles finalizes -cpuprofile/-memprofile; it must run on
+	// every exit path, including fail()'s early one.
+	stopProfiles, err := startProfiles(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fail := func(err error) {
+		if err != nil {
+			stopProfiles()
+			fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	scale := cfg.scale()
+	opt := harness.DefaultOptions()
+	opt.Params.Seed = cfg.seed
+	if cfg.contentionOut != "" {
+		opt.Contention = true
+		opt.ContentionTopK = cfg.contentionTopK
+		opt.TimeSeriesWindow = cfg.timeseriesWindow
+	}
+
+	runner := harness.Parallel(cfg.parallel)
+	if cfg.progress {
 		runner.Progress = func(p harness.Progress) {
 			fmt.Fprintf(os.Stderr, "\r  [%d/%d cells, elapsed %v, eta %v]   ",
 				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
@@ -84,29 +104,27 @@ func main() {
 		}
 	}
 
-	fail := func(err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
-			os.Exit(1)
-		}
-	}
-
-	if *traceOut != "" {
-		fail(runTraced(opt, scale, tracedCell{
-			workload: *traceWorkload,
-			system:   harness.SystemKind(*traceSystem),
-			threads:  *traceThreads,
-			limit:    *traceLimit,
-			out:      *traceOut,
-			format:   *traceFormat,
-			metrics:  *metricsOut,
-		}))
+	if cfg.traceOut != "" {
+		fail(runTraced(opt, scale, cfg))
+		stopProfiles()
 		return
 	}
 
-	var rep harness.MetricsReport
-	if *metricsOut != "" {
-		runner.Collect = rep.Collector()
+	var mrep harness.MetricsReport
+	var crep harness.ContentionReport
+	var collectors []func(harness.Job, harness.Result)
+	if cfg.metricsOut != "" {
+		collectors = append(collectors, mrep.Collector())
+	}
+	if cfg.contentionOut != "" {
+		collectors = append(collectors, crep.Collector())
+	}
+	if len(collectors) > 0 {
+		runner.Collect = func(j harness.Job, r harness.Result) {
+			for _, c := range collectors {
+				c(j, r)
+			}
+		}
 	}
 
 	run := func(name string) {
@@ -115,8 +133,8 @@ func main() {
 		case "params":
 			harness.PrintParams(os.Stdout, opt)
 		case "fig5":
-			if *seeds > 1 {
-				stats, err := runner.Figure5Seeds(opt, scale, *seeds)
+			if cfg.seeds > 1 {
+				stats, err := runner.Figure5Seeds(opt, scale, cfg.seeds)
 				harness.PrintSeedStats(os.Stdout, stats)
 				fail(err)
 				break
@@ -124,12 +142,12 @@ func main() {
 			data, err := runner.Figure5(opt, scale)
 			harness.PrintFigure5(os.Stdout, data, scale)
 			fail(err)
-			if *csvPath != "" {
-				f, err := os.Create(*csvPath)
+			if cfg.csvPath != "" {
+				f, err := os.Create(cfg.csvPath)
 				fail(err)
 				fail(harness.WriteFigure5CSV(f, data, scale))
 				fail(f.Close())
-				fmt.Printf("  [csv written to %s]\n", *csvPath)
+				fmt.Printf("  [csv written to %s]\n", cfg.csvPath)
 			}
 		case "fig6":
 			rows, err := runner.Figure6(opt, scale)
@@ -155,39 +173,96 @@ func main() {
 			rows, err := runner.Footprints(opt, scale)
 			harness.PrintFootprints(os.Stdout, rows)
 			fail(err)
-		default:
-			fmt.Fprintf(os.Stderr, "tmsim: unknown experiment %q\n", name)
-			os.Exit(2)
 		}
 		fmt.Printf("  [%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	if *experiment == "all" {
+	if cfg.experiment == "all" {
 		for _, name := range []string{"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended", "footprints"} {
 			run(name)
 		}
 	} else {
-		run(*experiment)
+		run(cfg.experiment)
 	}
 
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+	if cfg.metricsOut != "" {
+		f, err := os.Create(cfg.metricsOut)
 		fail(err)
-		fail(rep.WriteJSON(f))
+		fail(mrep.WriteJSON(f))
 		fail(f.Close())
-		fmt.Printf("  [metrics for %d cells written to %s]\n", len(rep.Cells), *metricsOut)
+		fmt.Printf("  [metrics for %d cells written to %s]\n", len(mrep.Cells), cfg.metricsOut)
 	}
+	if cfg.contentionOut != "" {
+		fail(writeContention(&crep, cfg))
+		fmt.Printf("  [contention report (%s) for %d cells written to %s]\n",
+			cfg.reportFormat, len(crep.Cells), cfg.contentionOut)
+	}
+	stopProfiles()
 }
 
-// tracedCell describes the single cell -trace-out runs instead of a sweep.
-type tracedCell struct {
-	workload string
-	system   harness.SystemKind
-	threads  int
-	limit    int
-	out      string
-	format   string
-	metrics  string
+// startProfiles starts the -cpuprofile collection and returns a
+// function that stops it and writes the -memprofile heap snapshot. The
+// returned function is safe to call when neither flag was given.
+func startProfiles(cfg *config) (func(), error) {
+	var cpuFile *os.File
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "  [cpu profile written to %s]\n", cfg.cpuProfile)
+		}
+		if cfg.memProfile != "" {
+			f, err := os.Create(cfg.memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tmsim: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // flush garbage so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tmsim: memprofile: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "  [heap profile written to %s]\n", cfg.memProfile)
+		}
+	}, nil
+}
+
+// writeContention writes the accumulated contention report to
+// -contention-out in the -report format.
+func writeContention(rep *harness.ContentionReport, cfg *config) error {
+	f, err := os.Create(cfg.contentionOut)
+	if err != nil {
+		return err
+	}
+	switch cfg.reportFormat {
+	case "html":
+		err = rep.WriteHTML(f)
+	case "text":
+		err = rep.WriteText(f)
+	default:
+		err = rep.WriteJSON(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // newSink builds the TraceSink selected by -trace-format.
@@ -206,23 +281,25 @@ func newSink(format string, w io.Writer) (machine.TraceSink, error) {
 
 // runTraced runs one designated cell with tracing enabled and exports
 // the trace through the chosen sink. With -metrics-out it also writes
-// the cell's metrics snapshot as a one-cell report.
-func runTraced(opt harness.Options, scale harness.Scale, c tracedCell) error {
-	f, ok := harness.FindWorkload(c.workload, scale)
+// the cell's metrics snapshot as a one-cell report; with
+// -contention-out, a one-cell contention report.
+func runTraced(opt harness.Options, scale harness.Scale, cfg *config) error {
+	f, ok := harness.FindWorkload(cfg.traceWorkload, scale)
 	if !ok {
-		return fmt.Errorf("unknown workload %q", c.workload)
+		return fmt.Errorf("unknown workload %q", cfg.traceWorkload)
 	}
-	opt.TraceLimit = c.limit
+	system := harness.SystemKind(cfg.traceSystem)
+	opt.TraceLimit = cfg.traceLimit
 	start := time.Now()
-	res := harness.Run(c.system, f.New(), c.threads, opt)
+	res := harness.Run(system, f.New(), cfg.traceThreads, opt)
 	if res.Err != nil {
-		return fmt.Errorf("%s/%s/%d: %w", c.workload, c.system, c.threads, res.Err)
+		return fmt.Errorf("%s/%s/%d: %w", cfg.traceWorkload, system, cfg.traceThreads, res.Err)
 	}
-	out, err := os.Create(c.out)
+	out, err := os.Create(cfg.traceOut)
 	if err != nil {
 		return err
 	}
-	sink, err := newSink(c.format, out)
+	sink, err := newSink(cfg.traceFormat, out)
 	if err != nil {
 		out.Close()
 		return err
@@ -235,12 +312,12 @@ func runTraced(opt harness.Options, scale harness.Scale, c tracedCell) error {
 		return err
 	}
 	fmt.Printf("  [%s/%s/%d threads: %d cycles, %d trace events (%s) written to %s in %v]\n",
-		c.workload, c.system, c.threads, res.Cycles, res.Trace.Total(), c.format, c.out,
+		cfg.traceWorkload, system, cfg.traceThreads, res.Cycles, res.Trace.Total(), cfg.traceFormat, cfg.traceOut,
 		time.Since(start).Round(time.Millisecond))
-	if c.metrics != "" {
+	if cfg.metricsOut != "" {
 		var rep harness.MetricsReport
 		rep.Collector()(harness.Job{}, res)
-		mf, err := os.Create(c.metrics)
+		mf, err := os.Create(cfg.metricsOut)
 		if err != nil {
 			return err
 		}
@@ -251,7 +328,15 @@ func runTraced(opt harness.Options, scale harness.Scale, c tracedCell) error {
 		if err := mf.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("  [metrics written to %s]\n", c.metrics)
+		fmt.Printf("  [metrics written to %s]\n", cfg.metricsOut)
+	}
+	if cfg.contentionOut != "" {
+		var rep harness.ContentionReport
+		rep.Collector()(harness.Job{}, res)
+		if err := writeContention(&rep, cfg); err != nil {
+			return err
+		}
+		fmt.Printf("  [contention report (%s) written to %s]\n", cfg.reportFormat, cfg.contentionOut)
 	}
 	return nil
 }

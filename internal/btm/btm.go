@@ -109,6 +109,21 @@ func (u *Unit) abort(reason machine.AbortReason, addr uint64) {
 	u.p.Elapse(2)
 }
 
+// AbortAttributed aborts like Abort but attributes the conflict edge to
+// the aggressor processor (-1 for self) over the given address. Hybrids
+// whose software barriers detect a conflict on another transaction's
+// behalf use this so contention profiles blame the right party.
+func (u *Unit) AbortAttributed(reason machine.AbortReason, aggressor int, addr uint64) {
+	if u.p.HW() == nil {
+		panic("btm: Abort with no transaction")
+	}
+	u.depth = 0
+	u.p.AbortHWAttributed(reason, aggressor, addr)
+	u.status.LastAbort = reason
+	u.status.LastAbortAddr = addr
+	u.p.Elapse(2)
+}
+
 // note records an abort outcome in the status registers.
 func (u *Unit) note(out machine.Outcome) {
 	if out.Kind == machine.HWAborted {

@@ -1,0 +1,42 @@
+package harness
+
+import "testing"
+
+// figure5SweepCells runs the small Figure 5 sweep serially: every
+// benchmark workload on every Figure 5 system at the small thread
+// counts. It is the baseline the contention acceptance criterion
+// compares against — attribution disabled must be within noise of the
+// seed, because the recorder hooks reduce to a nil check.
+func figure5SweepCells(b *testing.B, opt Options) {
+	b.Helper()
+	for _, f := range Benchmarks(ScaleSmall) {
+		for _, sys := range Figure5Systems {
+			for _, threads := range ThreadCounts(ScaleSmall) {
+				res := Run(sys, f.New(), threads, opt)
+				if res.Err != nil {
+					b.Fatalf("%s/%s/%d: %v", f.Name, sys, threads, res.Err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5Sweep is the disabled-path benchmark: conflict
+// attribution off (the default), recorder hooks on the nil fast path.
+func BenchmarkFigure5Sweep(b *testing.B) {
+	opt := testOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		figure5SweepCells(b, opt)
+	}
+}
+
+// BenchmarkFigure5SweepContention measures the same sweep with
+// attribution enabled, bounding what -contention-out costs.
+func BenchmarkFigure5SweepContention(b *testing.B) {
+	opt := contentionOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		figure5SweepCells(b, opt)
+	}
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/contention"
+)
+
+// ContentionSchemaVersion identifies the sweep contention report JSON
+// schema.
+const ContentionSchemaVersion = "tmsim-contention-report/v1"
+
+// CellContention is one sweep cell's identity plus its frozen
+// conflict-attribution report.
+type CellContention struct {
+	Workload   string             `json:"workload"`
+	System     SystemKind         `json:"system"`
+	Threads    int                `json:"threads"`
+	Err        string             `json:"err,omitempty"`
+	Contention *contention.Report `json:"contention"`
+}
+
+// Label renders the cell's coordinates for the text/HTML renderers.
+func (c CellContention) Label() string {
+	return fmt.Sprintf("%s/%s/%d threads", c.Workload, c.System, c.Threads)
+}
+
+// ContentionReport accumulates per-cell contention reports across one or
+// more sweeps. Fed from Runner.Collect it is filled in job order, so for
+// a fixed experiment sequence its encodings are byte-identical for every
+// worker count — the same determinism contract as MetricsReport. It is
+// not safe for concurrent use; the Runner serializes Collect invocations.
+type ContentionReport struct {
+	Cells []CellContention
+}
+
+// Collector returns a Runner.Collect callback appending into the report.
+// Cells run without Options.Contention contribute a nil report (rendered
+// as "no contention data" rather than dropped, so cell counts line up).
+func (rep *ContentionReport) Collector() func(Job, Result) {
+	return func(_ Job, res Result) {
+		cell := CellContention{
+			Workload:   res.Workload,
+			System:     res.System,
+			Threads:    res.Threads,
+			Contention: res.Contention,
+		}
+		if res.Err != nil {
+			cell.Err = res.Err.Error()
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+}
+
+// Aggregate merges every cell's headline totals (edge counts, per-reason
+// counts, commits, the aggressor→victim matrix) into one report; hot
+// lines and windows stay per-cell (see contention.Report.Add).
+func (rep *ContentionReport) Aggregate() *contention.Report {
+	agg := &contention.Report{}
+	for _, c := range rep.Cells {
+		agg.Add(c.Contention)
+	}
+	return agg
+}
+
+// contentionJSON is the on-disk shape of a contention report.
+type contentionJSON struct {
+	Schema    string             `json:"schema"`
+	Cells     []CellContention   `json:"cells"`
+	Aggregate *contention.Report `json:"aggregate"`
+}
+
+// WriteJSON writes the report — schema tag, per-cell reports in sweep
+// order, and the aggregate — as indented JSON followed by a newline.
+func (rep *ContentionReport) WriteJSON(w io.Writer) error {
+	out := contentionJSON{
+		Schema:    ContentionSchemaVersion,
+		Cells:     rep.Cells,
+		Aggregate: rep.Aggregate(),
+	}
+	if out.Cells == nil {
+		out.Cells = []CellContention{}
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// cells converts to the renderer's labeled-cell form.
+func (rep *ContentionReport) cells() []contention.Cell {
+	out := make([]contention.Cell, len(rep.Cells))
+	for i, c := range rep.Cells {
+		label := c.Label()
+		if c.Err != "" {
+			label += " (FAILED: " + c.Err + ")"
+		}
+		out[i] = contention.Cell{Label: label, Report: c.Contention}
+	}
+	return out
+}
+
+// WriteText renders the report as plain text (contention.WriteText).
+func (rep *ContentionReport) WriteText(w io.Writer) error {
+	return contention.WriteText(w, rep.cells())
+}
+
+// WriteHTML renders the report as one self-contained HTML document
+// (contention.WriteHTML): no scripts, no external assets.
+func (rep *ContentionReport) WriteHTML(w io.Writer) error {
+	return contention.WriteHTML(w, rep.cells())
+}
+
+// ReadContentionReport parses a report written by WriteJSON, for offline
+// reprocessing.
+func ReadContentionReport(r io.Reader) (*ContentionReport, error) {
+	var raw contentionJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, err
+	}
+	if raw.Schema != ContentionSchemaVersion {
+		return nil, fmt.Errorf("harness: unknown contention report schema %q", raw.Schema)
+	}
+	return &ContentionReport{Cells: raw.Cells}, nil
+}

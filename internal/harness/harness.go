@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/hytm"
 	"repro/internal/machine"
@@ -62,6 +63,16 @@ type Options struct {
 	// TraceLimit, when positive, enables machine tracing (most recent
 	// events kept) and returns the trace in the Result.
 	TraceLimit int
+	// Contention enables conflict attribution: a contention.Profile is
+	// attached to the machine and its frozen Report returned in the
+	// Result (and its headline totals registered as contention.* metrics).
+	Contention bool
+	// ContentionTopK bounds the hot lines kept per cell
+	// (contention.DefaultTopK when 0).
+	ContentionTopK int
+	// TimeSeriesWindow is the contention time-series window width in
+	// simulated cycles; 0 disables the time series.
+	TimeSeriesWindow uint64
 }
 
 // DefaultOptions returns the evaluation configuration.
@@ -117,7 +128,10 @@ type Result struct {
 	Machine  machine.Counters
 	Metrics  *obs.Snapshot  // the cell's full metrics snapshot (OBSERVABILITY.md)
 	Trace    *machine.Trace // non-nil when Options.TraceLimit > 0
-	Err      error          // non-nil if the workload invariant failed
+	// Contention is the cell's conflict-attribution report; non-nil when
+	// Options.Contention is set.
+	Contention *contention.Report
+	Err        error // non-nil if the workload invariant failed
 }
 
 // Speedup returns base/those cycles.
@@ -138,6 +152,11 @@ func Run(kind SystemKind, wl stamp.Workload, threads int, opt Options) Result {
 	if opt.TraceLimit > 0 {
 		tr = m.EnableTrace(opt.TraceLimit)
 	}
+	var prof *contention.Profile
+	if opt.Contention {
+		prof = contention.New(threads, opt.TimeSeriesWindow)
+		m.SetConflictRecorder(prof)
+	}
 	sys := Build(kind, m, opt)
 	wl.Init(m, threads)
 	bodies := make([]func(*machine.Proc), threads)
@@ -150,17 +169,22 @@ func Run(kind SystemKind, wl stamp.Workload, threads int, opt Options) Result {
 	reg := obs.NewRegistry()
 	sys.Stats().Register(reg)
 	m.RegisterMetrics(reg)
-	return Result{
+	res := Result{
 		System:   kind,
 		Workload: wl.Name(),
 		Threads:  threads,
 		Cycles:   m.Cycles(),
 		Stats:    *sys.Stats(),
 		Machine:  m.Count,
-		Metrics:  reg.Snapshot(),
 		Trace:    tr,
 		Err:      wl.Validate(m),
 	}
+	if prof != nil {
+		prof.Register(reg)
+		res.Contention = prof.Report(opt.ContentionTopK)
+	}
+	res.Metrics = reg.Snapshot()
+	return res
 }
 
 // WorkloadFactory builds a fresh workload instance per run.

@@ -176,7 +176,11 @@ func (h hwTx) barrier(addr uint64, write bool) {
 		panic("hytm: otable read outcome " + out.Kind.String())
 	}
 	if e.s.stm.LineConflicts(line, write) {
-		e.u.Abort(machine.AbortExplicit)
+		// Attribute the abort to the software transaction owning the
+		// conflicting otable record, not to ourselves: the contention is
+		// between this hardware transaction and that STM peer.
+		agg := e.s.stm.ConflictingOwnerProc(line, write)
+		e.u.AbortAttributed(machine.AbortExplicit, agg, mem.LineAddr(line))
 		tm.Unwind(machine.AbortExplicit)
 	}
 }

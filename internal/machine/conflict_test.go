@@ -1,0 +1,208 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// captureRecorder records every edge and commit, for asserting the exact
+// tuples the machine emits.
+type captureRecorder struct {
+	edges   []ConflictEdge
+	commits []struct {
+		proc  int
+		hw    bool
+		cycle uint64
+	}
+}
+
+func (c *captureRecorder) RecordEdge(e ConflictEdge) { c.edges = append(c.edges, e) }
+func (c *captureRecorder) RecordCommit(proc int, hw bool, cycle uint64) {
+	c.commits = append(c.commits, struct {
+		proc  int
+		hw    bool
+		cycle uint64
+	}{proc, hw, cycle})
+}
+
+// TestConflictEdgeHWConflict: an age-ordered HW-vs-HW kill emits exactly
+// one edge carrying the requester as aggressor, the owner as victim, the
+// conflicting line, the conflict reason, and a plausible cycle stamp.
+func TestConflictEdgeHWConflict(t *testing.T) {
+	m := New(testParams(2))
+	rec := &captureRecorder{}
+	m.SetConflictRecorder(rec)
+	m.Run([]func(*Proc){
+		func(p *Proc) {
+			age := p.Machine().NextAge() // older
+			p.Elapse(300)
+			p.BeginHW(age, true)
+			p.TxRead(0) // older requester: aborts the younger owner
+			p.CommitHW()
+		},
+		func(p *Proc) {
+			p.BeginHW(p.Machine().NextAge(), true) // younger
+			p.TxWrite(0, 9)
+			p.Elapse(1000)
+			if p.HW() != nil {
+				p.CommitHW()
+			}
+		},
+	})
+	if len(rec.edges) != 1 {
+		t.Fatalf("edges = %+v, want exactly one", rec.edges)
+	}
+	e := rec.edges[0]
+	if e.Aggressor != 0 || e.Victim != 1 {
+		t.Fatalf("edge attribution = %d→%d, want 0→1", e.Aggressor, e.Victim)
+	}
+	if !e.HasAddr || e.Addr != 0 || e.SW {
+		t.Fatalf("edge = %+v, want hw edge on line 0", e)
+	}
+	if e.Reason != AbortConflict {
+		t.Fatalf("edge reason = %v", e.Reason)
+	}
+	if e.Cycle == 0 || e.Cycle > m.Cycles() {
+		t.Fatalf("edge cycle = %d, machine ran %d", e.Cycle, m.Cycles())
+	}
+	// One HW commit (the aggressor's); edge count matches the abort count.
+	if len(rec.commits) != 1 || !rec.commits[0].hw || rec.commits[0].proc != 0 {
+		t.Fatalf("commits = %+v", rec.commits)
+	}
+	if m.Count.HWAbortsByReason[AbortConflict] != 1 {
+		t.Fatalf("abort count = %d", m.Count.HWAbortsByReason[AbortConflict])
+	}
+}
+
+// TestConflictEdgeUFOKill: setting a UFO bit over a speculative reader
+// emits a ufo-kill edge from the setter to the reader.
+func TestConflictEdgeUFOKill(t *testing.T) {
+	m := New(testParams(2))
+	rec := &captureRecorder{}
+	m.SetConflictRecorder(rec)
+	m.Run([]func(*Proc){
+		func(p *Proc) {
+			victimTx(p, false)
+		},
+		func(p *Proc) {
+			p.Elapse(100)
+			p.SetUFOEnabled(false)
+			p.SetUFO(0, mem.UFOFaultOnWrite)
+		},
+	})
+	if len(rec.edges) != 1 {
+		t.Fatalf("edges = %+v", rec.edges)
+	}
+	e := rec.edges[0]
+	if e.Aggressor != 1 || e.Victim != 0 || e.Reason != AbortUFOKill || !e.HasAddr || e.Addr != 0 {
+		t.Fatalf("ufo edge = %+v, want 1→0 ufo-kill on line 0", e)
+	}
+}
+
+// TestConflictEdgeNonTConflict: a non-transactional write into a HW
+// read set emits a nonT-conflict edge.
+func TestConflictEdgeNonTConflict(t *testing.T) {
+	m := New(testParams(2))
+	rec := &captureRecorder{}
+	m.SetConflictRecorder(rec)
+	m.Run([]func(*Proc){
+		func(p *Proc) {
+			victimTx(p, false)
+		},
+		func(p *Proc) {
+			p.Elapse(100)
+			p.NTWrite(0, 5)
+		},
+	})
+	if len(rec.edges) != 1 {
+		t.Fatalf("edges = %+v", rec.edges)
+	}
+	e := rec.edges[0]
+	if e.Aggressor != 1 || e.Victim != 0 || e.Reason != AbortNonTConflict {
+		t.Fatalf("nonT edge = %+v, want 1→0 nonT-conflict", e)
+	}
+}
+
+// TestConflictEdgeAttributedAbort: AbortHWAttributed self-aborts but
+// attributes the edge to the named peer; aggressor -1 falls back to self.
+func TestConflictEdgeAttributedAbort(t *testing.T) {
+	m := New(testParams(2))
+	rec := &captureRecorder{}
+	m.SetConflictRecorder(rec)
+	m.Run([]func(*Proc){
+		func(p *Proc) {
+			p.BeginHW(p.Machine().NextAge(), true)
+			p.TxRead(0)
+			p.AbortHWAttributed(AbortExplicit, 1, 0x140)
+			p.BeginHW(p.Machine().NextAge(), true)
+			p.TxRead(64)
+			p.AbortHWAttributed(AbortExplicit, -1, 0x180)
+		},
+		func(p *Proc) {},
+	})
+	if len(rec.edges) != 2 {
+		t.Fatalf("edges = %+v", rec.edges)
+	}
+	if e := rec.edges[0]; e.Aggressor != 1 || e.Victim != 0 || e.Addr != 0x140 || !e.HasAddr {
+		t.Fatalf("attributed edge = %+v, want 1→0 @0x140", e)
+	}
+	if e := rec.edges[1]; e.Aggressor != 0 || e.Victim != 0 {
+		t.Fatalf("self-fallback edge = %+v, want 0→0", e)
+	}
+	if m.Count.HWAbortsByReason[AbortExplicit] != 2 {
+		t.Fatalf("aborts = %d", m.Count.HWAbortsByReason[AbortExplicit])
+	}
+}
+
+// TestConflictEdgeSWHelpers: the RecordSW* pass-throughs stamp the
+// caller's clock and the SW flag.
+func TestConflictEdgeSWHelpers(t *testing.T) {
+	m := New(testParams(2))
+	rec := &captureRecorder{}
+	m.SetConflictRecorder(rec)
+	m.Run([]func(*Proc){
+		func(p *Proc) {
+			p.Elapse(10)
+			p.RecordSWKill(p.Machine().Proc(1), AbortConflict, 0x200, true)
+			p.RecordSWCommit()
+		},
+		func(p *Proc) {
+			p.Elapse(20)
+			p.RecordSWAbortBy(-1, AbortConflict, 0, false)
+		},
+	})
+	if len(rec.edges) != 2 {
+		t.Fatalf("edges = %+v", rec.edges)
+	}
+	if e := rec.edges[0]; !e.SW || e.Aggressor != 0 || e.Victim != 1 || e.Addr != 0x200 || e.Cycle < 10 {
+		t.Fatalf("sw kill edge = %+v", e)
+	}
+	if e := rec.edges[1]; !e.SW || e.Aggressor != -1 || e.Victim != 1 || e.HasAddr {
+		t.Fatalf("sw abort-by edge = %+v", e)
+	}
+	if len(rec.commits) != 1 || rec.commits[0].hw || rec.commits[0].proc != 0 {
+		t.Fatalf("commits = %+v", rec.commits)
+	}
+}
+
+// TestConflictRecorderDetached: with no recorder attached the same
+// collision runs identically and nothing panics (the nil fast path).
+func TestConflictRecorderDetached(t *testing.T) {
+	m := New(testParams(2))
+	m.Run([]func(*Proc){
+		func(p *Proc) {
+			victimTx(p, true)
+			p.RecordSWKill(p.Machine().Proc(1), AbortConflict, 0, true)
+			p.RecordSWAbortBy(0, AbortConflict, 0, false)
+			p.RecordSWCommit()
+		},
+		func(p *Proc) {
+			p.Elapse(100)
+			p.NTWrite(0, 5)
+		},
+	})
+	if m.ConflictRecorder() != nil {
+		t.Fatal("recorder attached unexpectedly")
+	}
+}

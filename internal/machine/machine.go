@@ -192,6 +192,45 @@ func DefaultParams(procs int) Params {
 	}
 }
 
+// ConflictEdge is one who-aborted-whom attribution record: processor
+// Aggressor performed the action that aborted (killed) processor Victim's
+// transaction at the given simulated cycle. Self-inflicted aborts
+// (explicit abort, syscall, overflow, interrupt) appear as self-loop
+// edges with Aggressor == Victim. Aggressor is -1 when the conflicting
+// party could not be identified (e.g. a TL2 validation failure against an
+// already-released stripe). Address 0 is a legal simulated address, so
+// HasAddr states explicitly whether Addr names a real conflicting line.
+type ConflictEdge struct {
+	Aggressor int
+	Victim    int
+	Addr      uint64
+	HasAddr   bool
+	SW        bool // the aborted (victim) transaction was a software transaction
+	Reason    AbortReason
+	Cycle     uint64
+}
+
+// ConflictRecorder receives conflict-attribution events from the machine
+// and the TM systems running on it. Implementations must be cheap: the
+// machine calls these from every abort and commit path. The engine
+// serializes processors, so implementations need no locking.
+// internal/contention provides the standard implementation; the machine
+// only defines the interface so the dependency points outward.
+type ConflictRecorder interface {
+	// RecordEdge records one who-aborted-whom edge.
+	RecordEdge(e ConflictEdge)
+	// RecordCommit records a committed transaction (hw selects the
+	// hardware/software mode) for abort-rate-over-time series.
+	RecordCommit(proc int, hw bool, cycle uint64)
+}
+
+// SetConflictRecorder attaches (or with nil detaches) a conflict
+// recorder. Recording costs one nil check per abort/commit when detached.
+func (m *Machine) SetConflictRecorder(r ConflictRecorder) { m.rec = r }
+
+// ConflictRecorder returns the attached recorder, or nil.
+func (m *Machine) ConflictRecorder() ConflictRecorder { return m.rec }
+
 // Counters aggregates machine-level event counts.
 type Counters struct {
 	HWAbortsByReason [NumAbortReasons]uint64
@@ -221,6 +260,7 @@ type Machine struct {
 	txSeq uint64
 	trace *Trace
 	sinks []TraceSink
+	rec   ConflictRecorder
 }
 
 // New builds a machine from params.

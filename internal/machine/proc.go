@@ -143,6 +143,9 @@ func (p *Proc) CommitHW() Outcome {
 	}
 	p.m.Count.HWCommits++
 	p.m.Count.HWFootprint.Add(t.Footprint())
+	if p.m.rec != nil {
+		p.m.rec.RecordCommit(p.ID(), true, p.Now())
+	}
 	p.record(TraceHWCommit, AbortNone, 0, t.Age, FlagAge)
 	p.hw = nil
 	return okOutcome
@@ -158,6 +161,57 @@ func (p *Proc) AbortHW(reason AbortReason) {
 	}
 	p.killHW(p, reason, 0, false)
 	p.consumeAbort()
+}
+
+// AbortHWAttributed aborts the in-flight transaction like AbortHW, but
+// attributes the who-aborted-whom edge to another processor and a
+// conflicting line. Hybrid TMs use it when a software barrier detects a
+// conflict on behalf of a software transaction running elsewhere (HyTM's
+// otable check, PhTM's phase counter, SLE's held lock word): the abort is
+// architecturally self-inflicted, but the contention belongs to the peer.
+// aggressor -1 falls back to self-attribution.
+func (p *Proc) AbortHWAttributed(reason AbortReason, aggressor int, addr uint64) {
+	if p.hw == nil {
+		panic("machine: AbortHWAttributed with no transaction")
+	}
+	p.killHWFrom(aggressor, p, reason, addr, true)
+	p.consumeAbort()
+}
+
+// RecordSWKill notes with the conflict recorder (no-op when detached)
+// that p's software transaction killed victim's software transaction over
+// the line containing addr. The STM layers call this from their kill
+// paths; the machine itself only sees SW conflicts indirectly.
+func (p *Proc) RecordSWKill(victim *Proc, reason AbortReason, addr uint64, hasAddr bool) {
+	if p.m.rec != nil {
+		p.m.rec.RecordEdge(ConflictEdge{
+			Aggressor: p.ID(), Victim: victim.ID(),
+			Addr: addr, HasAddr: hasAddr, SW: true,
+			Reason: reason, Cycle: p.Now(),
+		})
+	}
+}
+
+// RecordSWAbortBy notes that p's own software transaction aborted because
+// of aggressor (-1 when unknown, e.g. a TL2 stripe whose last writer has
+// long released it). Used by STMs whose victims detect conflicts
+// themselves rather than being killed.
+func (p *Proc) RecordSWAbortBy(aggressor int, reason AbortReason, addr uint64, hasAddr bool) {
+	if p.m.rec != nil {
+		p.m.rec.RecordEdge(ConflictEdge{
+			Aggressor: aggressor, Victim: p.ID(),
+			Addr: addr, HasAddr: hasAddr, SW: true,
+			Reason: reason, Cycle: p.Now(),
+		})
+	}
+}
+
+// RecordSWCommit notes a committed software transaction with the conflict
+// recorder (no-op when detached).
+func (p *Proc) RecordSWCommit() {
+	if p.m.rec != nil {
+		p.m.rec.RecordCommit(p.ID(), false, p.Now())
+	}
 }
 
 // consumeAbort retires a pending abort: it records statistics, clears the
@@ -181,9 +235,28 @@ func (p *Proc) consumeAbort() Outcome {
 // hasAddr states whether addr names a real conflicting address — address
 // 0 is a legal simulated address, so absence is tracked explicitly.
 func (p *Proc) killHW(victim *Proc, reason AbortReason, addr uint64, hasAddr bool) {
+	p.killHWFrom(p.ID(), victim, reason, addr, hasAddr)
+}
+
+// killHWFrom is killHW with an explicit aggressor processor ID for the
+// attribution edge. p is always the processor performing the kill (whose
+// clock timestamps the edge); aggressor may name another processor when a
+// software barrier detects a conflict on that processor's behalf
+// (AbortHWAttributed), or -1 for self-attribution.
+func (p *Proc) killHWFrom(aggressor int, victim *Proc, reason AbortReason, addr uint64, hasAddr bool) {
 	t := victim.hw
 	if t == nil || t.pendingAbort != AbortNone {
 		return
+	}
+	if p.m.rec != nil {
+		if aggressor < 0 {
+			aggressor = victim.ID()
+		}
+		p.m.rec.RecordEdge(ConflictEdge{
+			Aggressor: aggressor, Victim: victim.ID(),
+			Addr: addr, HasAddr: hasAddr,
+			Reason: reason, Cycle: p.Now(),
+		})
 	}
 	t.pendingAbort = reason
 	t.abortAddr = addr

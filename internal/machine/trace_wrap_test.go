@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTraceRingWraparoundExports drives the ring past its capacity with
+// an odd limit (so the wrap point lands mid transaction) and exports the
+// survivors through all three sinks: the ring must keep exactly the most
+// recent events in order, every sink must stay well-formed, and the
+// Chrome sink must turn the orphaned commit (whose begin was evicted)
+// into an instant instead of a torn span.
+func TestTraceRingWraparoundExports(t *testing.T) {
+	m := New(testParams(1))
+	tr := m.EnableTrace(7)
+	m.Run([]func(*Proc){func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			p.BeginHW(p.Machine().NextAge(), true)
+			p.TxWrite(0, uint64(i))
+			p.CommitHW()
+		}
+	}})
+
+	// 6 transactions → 12 events through a 7-slot ring.
+	if tr.Total() != 12 {
+		t.Fatalf("total = %d, want 12", tr.Total())
+	}
+	events := tr.Events()
+	if len(events) != 7 {
+		t.Fatalf("retained = %d, want 7", len(events))
+	}
+	// Oldest survivor is event index 5: the commit of the 3rd transaction,
+	// whose begin was evicted.
+	if events[0].Kind != TraceHWCommit {
+		t.Fatalf("first retained event = %v, want orphaned hw-commit", events[0].Kind)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Fatalf("events out of order at %d: %v after %v", i, events[i], events[i-1])
+		}
+	}
+	// The remaining six events are three intact begin/commit pairs.
+	for i := 1; i < len(events); i += 2 {
+		if events[i].Kind != TraceHWBegin || events[i+1].Kind != TraceHWCommit {
+			t.Fatalf("pair at %d = %v,%v", i, events[i].Kind, events[i+1].Kind)
+		}
+	}
+
+	// Text sink: one line per retained event.
+	var text bytes.Buffer
+	if err := tr.Export(NewTextSink(&text)); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(text.String(), "\n"); lines != 7 {
+		t.Fatalf("text lines = %d, want 7:\n%s", lines, text.String())
+	}
+
+	// JSONL sink: every line is a valid JSON object.
+	var jsonl bytes.Buffer
+	if err := tr.Export(NewJSONLSink(&jsonl)); err != nil {
+		t.Fatal(err)
+	}
+	jl := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(jl) != 7 {
+		t.Fatalf("jsonl lines = %d, want 7", len(jl))
+	}
+	for i, line := range jl {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("jsonl line %d invalid: %s", i, line)
+		}
+	}
+
+	// Chrome sink: the whole document parses, spans are intact, and the
+	// orphaned commit became an instant — nothing torn, nothing dropped.
+	var chrome bytes.Buffer
+	if err := tr.Export(NewChromeSink(&chrome)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Ts   uint64          `json:"ts"`
+			Dur  *int64          `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output invalid JSON: %v\n%s", err, chrome.String())
+	}
+	spans, instants := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Name != "hw-tx" {
+				t.Errorf("span name = %q", e.Name)
+			}
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Errorf("span has bad duration: %+v", e)
+			}
+			if strings.Contains(string(e.Args), "truncated") {
+				t.Errorf("intact pair rendered as truncated: %+v", e)
+			}
+		case "i":
+			instants++
+			if e.Name != "hw-commit" {
+				t.Errorf("instant name = %q, want the orphaned hw-commit", e.Name)
+			}
+		}
+	}
+	if spans != 3 || instants != 1 {
+		t.Fatalf("chrome export: %d spans, %d instants; want 3 intact spans and 1 orphan instant", spans, instants)
+	}
+}

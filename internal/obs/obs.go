@@ -182,6 +182,18 @@ func (r *Registry) Histogram(name, unit, help string) *Histogram {
 	return m.h
 }
 
+// Snapshot freezes the histogram's state (trailing zero buckets trimmed),
+// matching the per-metric representation Registry.Snapshot produces.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	hs := &HistSnapshot{Count: h.count, Sum: h.sum, Max: h.max}
+	end := len(h.buckets)
+	for end > 0 && h.buckets[end-1] == 0 {
+		end--
+	}
+	hs.Buckets = append([]uint64(nil), h.buckets[:end]...)
+	return hs
+}
+
 // HistSnapshot is the frozen state of a histogram.
 type HistSnapshot struct {
 	Count   uint64   `json:"count"`
@@ -189,6 +201,60 @@ type HistSnapshot struct {
 	Max     uint64   `json:"max"`
 	Buckets []uint64 `json:"buckets"` // trailing zero buckets trimmed
 }
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observations from
+// the power-of-two buckets: it locates the bucket containing the rank
+// ceil(q*count) and interpolates linearly across the bucket's value range
+// [2^(i-1), 2^i - 1] (bucket 0 holds exactly the zero observations). The
+// top of the last populated bucket is clamped to the recorded maximum, so
+// high quantiles never exceed an observed value. The estimate is exact to
+// within one bucket width, which is what a power-of-two histogram can
+// promise.
+func (h *HistSnapshot) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	last := len(h.Buckets) - 1
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next || i == last {
+			var lo, hi float64
+			if i > 0 {
+				lo = float64(uint64(1) << (i - 1))
+				hi = float64(uint64(1)<<i - 1)
+			}
+			if m := float64(h.Max); hi > m {
+				hi = m
+			}
+			if hi < lo {
+				hi = lo
+			}
+			return lo + (rank-cum)/float64(n)*(hi-lo)
+		}
+		cum = next
+	}
+	return float64(h.Max)
+}
+
+// P50 estimates the median.
+func (h *HistSnapshot) P50() float64 { return h.Quantile(0.50) }
+
+// P90 estimates the 90th percentile.
+func (h *HistSnapshot) P90() float64 { return h.Quantile(0.90) }
+
+// P99 estimates the 99th percentile.
+func (h *HistSnapshot) P99() float64 { return h.Quantile(0.99) }
 
 // Metric is one frozen metric in a snapshot.
 type Metric struct {

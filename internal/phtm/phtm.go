@@ -35,6 +35,9 @@ type System struct {
 	numMustSTMAddr uint64
 	numSTM         int
 	numMustSTM     int
+	// lastSTMProc is the processor that most recently entered the STM
+	// phase (-1 before any has): the party phase aborts are attributed to.
+	lastSTMProc int
 
 	BackoffBase uint64
 	// PhasePollCycles is the stall interval while waiting for an STM
@@ -51,6 +54,7 @@ func New(m *machine.Machine, cfg ustm.Config) *System {
 		stm:             ustm.New(m, cfg),
 		numSTMAddr:      m.Mem.Sbrk(64),
 		numMustSTMAddr:  m.Mem.Sbrk(64),
+		lastSTMProc:     -1,
 		BackoffBase:     64,
 		PhasePollCycles: 60,
 	}
@@ -102,6 +106,9 @@ func (e *exec) Store(addr, val uint64) {
 // hardware transactions that read the counter transactionally.
 func (e *exec) bumpSTM(d int) {
 	e.s.numSTM += d
+	if d > 0 {
+		e.s.lastSTMProc = e.Proc().ID()
+	}
 	e.Store(e.s.numSTMAddr, uint64(e.s.numSTM))
 }
 
@@ -199,7 +206,9 @@ func (e *exec) tryHW(age uint64, body func(tm.Tx)) (machine.AbortReason, bool) {
 		}
 		if v != 0 {
 			e.phaseAbort = true
-			e.u.Abort(machine.AbortExplicit)
+			// The in-flight software phase caused this abort: attribute
+			// it to the processor that last entered the phase.
+			e.u.AbortAttributed(machine.AbortExplicit, e.s.lastSTMProc, e.s.numSTMAddr)
 			tm.Unwind(machine.AbortExplicit)
 		}
 		body(hwTx{e})

@@ -43,8 +43,9 @@ type Stats struct {
 }
 
 type lockState struct {
-	addr uint64
-	held bool
+	addr   uint64
+	held   bool
+	holder int // processor holding (or last to hold) the lock, -1 if none
 }
 
 // New creates a manager.
@@ -64,7 +65,7 @@ func (mgr *Manager) Stats() *Stats { return &mgr.stats }
 // NewLock allocates an elidable lock (one simulated line).
 func (mgr *Manager) NewLock() Lock {
 	addr := mgr.m.Mem.Sbrk(64)
-	mgr.locks[addr] = &lockState{addr: addr}
+	mgr.locks[addr] = &lockState{addr: addr, holder: -1}
 	return Lock{addr: addr}
 }
 
@@ -123,7 +124,9 @@ func (e *Exec) tryElide(st *lockState, body func(Mem)) bool {
 		}
 		check(out)
 		if v != 0 {
-			e.u.Abort(machine.AbortExplicit)
+			// The lock holder is the party this failed elision conflicts
+			// with; attribute the abort edge accordingly.
+			e.u.AbortAttributed(machine.AbortExplicit, st.holder, st.addr)
 			tm.Unwind(machine.AbortExplicit)
 		}
 		body(speculative{e})
@@ -140,6 +143,7 @@ func (e *Exec) acquire(st *lockState) {
 		check(out)
 		if !st.held {
 			st.held = true
+			st.holder = e.p.ID()
 			check(e.p.NTWrite(st.addr, 1))
 			return
 		}

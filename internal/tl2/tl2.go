@@ -46,6 +46,7 @@ type stripe struct {
 	locked  bool
 	owner   int // processor ID, valid when locked
 	version uint64
+	writer  int // processor that last committed the stripe, -1 if none
 }
 
 // System implements tm.System.
@@ -66,7 +67,7 @@ func New(m *machine.Machine, cfg Config) *System {
 	if cfg.Stripes <= 0 || cfg.Stripes&(cfg.Stripes-1) != 0 {
 		panic(fmt.Sprintf("tl2: Stripes %d must be a positive power of two", cfg.Stripes))
 	}
-	return &System{
+	s := &System{
 		m:         m,
 		cfg:       cfg,
 		clockAddr: m.Mem.Sbrk(mem.LineBytes),
@@ -74,6 +75,10 @@ func New(m *machine.Machine, cfg Config) *System {
 		lockBase:  m.Mem.Sbrk(uint64(cfg.Stripes) * mem.LineBytes),
 		mask:      uint64(cfg.Stripes - 1),
 	}
+	for i := range s.stripes {
+		s.stripes[i].writer = -1
+	}
+	return s
 }
 
 // Name implements tm.System.
@@ -146,6 +151,7 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 		if !aborted {
 			if e.commit() {
 				e.s.stats.SWCommits++
+				e.p.RecordSWCommit()
 				for _, f := range e.onCommit {
 					f()
 				}
@@ -205,12 +211,14 @@ func (e *exec) load(addr uint64) uint64 {
 	e.touchStripe(si)
 	e.p.Elapse(e.s.cfg.BarrierCycles)
 	if st.locked || st.version > e.rv {
+		e.recordStripeConflict(st, mem.LineAddr(mem.LineOf(addr)), true)
 		tm.Unwind(machine.AbortConflict)
 	}
 	v := e.Load(addr)
 	// Post-validation (the stripe may have changed while the data load
 	// paid its latency).
 	if st.locked || st.version > e.rv {
+		e.recordStripeConflict(st, mem.LineAddr(mem.LineOf(addr)), true)
 		tm.Unwind(machine.AbortConflict)
 	}
 	e.noteStripe(&e.readSet, si)
@@ -267,6 +275,7 @@ func (e *exec) commit() bool {
 		e.touchStripe(si)
 		e.p.Elapse(e.s.cfg.PerWriteCycles)
 		if st.locked && st.owner != e.p.ID() {
+			e.recordStripeConflict(st, 0, false)
 			e.unlock(locked)
 			return false
 		}
@@ -288,6 +297,7 @@ func (e *exec) commit() bool {
 			st := &e.s.stripes[si]
 			e.touchStripe(si)
 			if (st.locked && st.owner != e.p.ID()) || st.version > e.rv {
+				e.recordStripeConflict(st, 0, false)
 				e.unlock(locked)
 				return false
 			}
@@ -302,10 +312,23 @@ func (e *exec) commit() bool {
 		st := &e.s.stripes[si]
 		st.version = wv
 		st.locked = false
+		st.writer = e.p.ID()
 		e.writeStripe(si)
 	}
 	e.p.Elapse(e.s.cfg.CommitCycles)
 	return true
+}
+
+// recordStripeConflict records a who-aborted-whom edge against the
+// stripe's lock owner (or, when unlocked, its last committer — the
+// transaction whose version bump invalidated us; -1 when no one has
+// committed the stripe yet).
+func (e *exec) recordStripeConflict(st *stripe, addr uint64, hasAddr bool) {
+	agg := st.writer
+	if st.locked {
+		agg = st.owner
+	}
+	e.p.RecordSWAbortBy(agg, machine.AbortConflict, addr, hasAddr)
 }
 
 func (e *exec) unlock(locked []uint64) {

@@ -104,6 +104,7 @@ func (t *Thread) End() bool {
 	}
 	t.p.Elapse(t.stm.cfg.CommitCycles)
 	t.p.RecordSW(machine.TraceSWCommit, machine.AbortNone, t.age)
+	t.p.RecordSWCommit()
 	t.finish()
 	t.runDeferred()
 	return true
@@ -167,13 +168,14 @@ func (t *Thread) WaitForKiller() {
 	t.killer = nil
 }
 
-// kill marks victim as aborted by t. The victim notices at its next
-// barrier (or stall poll) and unwinds; a blocked (retrying) victim is
-// woken so it can unwind.
-func (t *Thread) kill(victim *Thread) {
+// kill marks victim as aborted by t over the conflicting line. The victim
+// notices at its next barrier (or stall poll) and unwinds; a blocked
+// (retrying) victim is woken so it can unwind.
+func (t *Thread) kill(victim *Thread, line uint64) {
 	if victim.killed || victim.status == statusIdle {
 		return
 	}
+	t.p.RecordSWKill(victim.p, machine.AbortConflict, mem.LineAddr(line), true)
 	victim.killed = true
 	victim.killer = t
 	victim.killerEpoch = t.epoch
@@ -323,7 +325,7 @@ func (t *Thread) resolveConflict(r *row, e *entry, write bool) bool {
 	// We are the oldest: kill the younger conflictors and wait for each
 	// to release its ownership (blocking STM: victims unwind themselves).
 	for _, o := range active {
-		t.kill(o)
+		t.kill(o, e.tag)
 	}
 	for _, o := range active {
 		for e.hasOwner(o) {

@@ -147,6 +147,22 @@ func (s *STM) LineConflicts(line uint64, write bool) bool {
 	return write || e.write
 }
 
+// ConflictingOwnerProc returns the processor ID of the first software
+// transaction whose otable record conflicts with an access of the given
+// kind to line, or -1 when no conflicting record exists. HyTM's hardware
+// barriers use it to attribute barrier-detected aborts to the software
+// transaction that caused them.
+func (s *STM) ConflictingOwnerProc(line uint64, write bool) int {
+	e := s.ot.row(s.ot.index(line)).find(line)
+	if e == nil || len(e.owners) == 0 {
+		return -1
+	}
+	if !write && !e.write {
+		return -1
+	}
+	return e.owners[0].p.ID()
+}
+
 // OwnersAllRetrying reports whether line has at least one owner and every
 // owner is a retrying (descheduled) transaction. The hybrid's UFO-fault
 // handler uses this to distinguish waiting transactions from active

@@ -253,7 +253,7 @@ func privatizationFinalValue(t *testing.T, strong bool) uint64 {
 			victim := s.Thread(m.Proc(1))
 			me := s.Thread(p)
 			me.age = 0 // pretend to be the oldest
-			me.kill(victim)
+			me.kill(victim, 0)
 			if strong {
 				NTStore(s, p, 0, 777)
 			} else {
