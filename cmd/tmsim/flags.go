@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/cm"
 	"repro/internal/contention"
 	"repro/internal/harness"
 )
@@ -15,6 +16,7 @@ import (
 type config struct {
 	experiment string
 	scaleName  string
+	policy     string
 	seed       uint64
 	seeds      int
 	csvPath    string
@@ -43,7 +45,7 @@ type config struct {
 // knownExperiments are the -experiment values main dispatches on.
 var knownExperiments = []string{
 	"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended",
-	"footprints", "all",
+	"footprints", "policies", "all",
 }
 
 // parseConfig parses argv (without the program name), records which
@@ -53,8 +55,9 @@ func parseConfig(args []string, errOut io.Writer) (*config, error) {
 	cfg := &config{}
 	fs := flag.NewFlagSet("tmsim", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	fs.StringVar(&cfg.experiment, "experiment", "all", "fig5 | fig6 | fig7 | fig8 | ablate | extended | footprints | params | all")
+	fs.StringVar(&cfg.experiment, "experiment", "all", "fig5 | fig6 | fig7 | fig8 | ablate | extended | footprints | policies | params | all")
 	fs.StringVar(&cfg.scaleName, "scale", "full", "small | full")
+	fs.StringVar(&cfg.policy, "policy", "exp", "contention-management policy: exp | linear | karma | serialize")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "machine RNG seed")
 	fs.IntVar(&cfg.seeds, "seeds", 0, "run fig5 across seeds 1..N and report mean/min/max")
 	fs.StringVar(&cfg.csvPath, "csv", "", "also write the fig5 sweep as CSV to this file")
@@ -87,6 +90,12 @@ func parseConfig(args []string, errOut io.Writer) (*config, error) {
 	return cfg, nil
 }
 
+// spec resolves -policy (validate has already vetted it).
+func (cfg *config) spec() cm.Spec {
+	s, _ := cm.ParseSpec(cfg.policy)
+	return s
+}
+
 // scale resolves -scale (validate has already vetted it).
 func (cfg *config) scale() harness.Scale {
 	if cfg.scaleName == "small" {
@@ -112,6 +121,9 @@ func (cfg *config) validate() error {
 	}
 	if !known {
 		return fmt.Errorf("unknown experiment %q (want one of %v)", cfg.experiment, knownExperiments)
+	}
+	if _, err := cm.ParseSpec(cfg.policy); err != nil {
+		return fmt.Errorf("-policy %q: want one of %v", cfg.policy, cm.Kinds)
 	}
 	if cfg.seeds < 0 {
 		return fmt.Errorf("-seeds %d: want >= 0", cfg.seeds)

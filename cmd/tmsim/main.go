@@ -7,11 +7,17 @@
 //	tmsim -experiment fig8   # Figure 8: contention-policy sensitivity
 //	tmsim -experiment ablate # design-choice ablations (UFO mitigations, L1, otable, quantum)
 //	tmsim -experiment extended # extension workloads beyond the paper (ssca2, intruder, labyrinth)
+//	tmsim -experiment policies # contention-management policy ablation
 //	tmsim -experiment params # Table 4: simulation parameters
 //	tmsim -experiment all    # everything above
 //
 // -scale small runs quick versions; -scale full (default) runs the sizes
 // recorded in EXPERIMENTS.md. Runs are deterministic for a given -seed.
+//
+// -policy selects the contention-management (backoff) policy every
+// system retries under: exp (the paper's capped exponential, default),
+// linear, karma (Polka/Karma-style priority), or serialize (exp plus
+// starvation escalation). See DESIGN.md §11.
 //
 // Independent sweep cells fan out across -parallel worker goroutines
 // (default: one per CPU; -parallel 1 forces the serial order). Every
@@ -87,6 +93,7 @@ func main() {
 	scale := cfg.scale()
 	opt := harness.DefaultOptions()
 	opt.Params.Seed = cfg.seed
+	opt.CM = cfg.spec()
 	if cfg.contentionOut != "" {
 		opt.Contention = true
 		opt.ContentionTopK = cfg.contentionTopK
@@ -173,12 +180,16 @@ func main() {
 			rows, err := runner.Footprints(opt, scale)
 			harness.PrintFootprints(os.Stdout, rows)
 			fail(err)
+		case "policies":
+			rows, err := runner.PolicySweep(opt, scale)
+			harness.PrintPolicySweep(os.Stdout, rows)
+			fail(err)
 		}
 		fmt.Printf("  [%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	if cfg.experiment == "all" {
-		for _, name := range []string{"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended", "footprints"} {
+		for _, name := range []string{"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended", "footprints", "policies"} {
 			run(name)
 		}
 	} else {

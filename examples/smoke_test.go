@@ -1,0 +1,48 @@
+// Package examples_test smoke-tests every example program: each must
+// build and exit 0 when run against the simulated machine. The examples
+// double as user-facing documentation, so a refactor that breaks their
+// API usage (as the contention-management rework could have, silently)
+// fails here rather than in a reader's terminal.
+package examples_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot finds the repository root from this file's location, so
+// the test works regardless of the working directory `go test` uses.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source file")
+	}
+	return filepath.Dir(filepath.Dir(file)) // examples/ -> repo root
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile and run full programs; skipped in -short")
+	}
+	root := moduleRoot(t)
+	for _, name := range []string{
+		"genome", "lockelision", "quickstart", "retrywait", "strongatomic", "vacation",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("examples/%s printed nothing", name)
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ package core
 
 import (
 	"repro/internal/btm"
+	"repro/internal/cm"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/tm"
@@ -44,7 +45,8 @@ type Policy struct {
 	UFOFaultStallTries int
 	// BackoffBase is the exponential-backoff unit for hardware retries
 	// (cycles). The backoff is BackoffBase << min(aborts, 7), the paper's
-	// saturating abort counter.
+	// saturating abort counter. Zero selects cm.DefaultBase (64); the
+	// delay schedule itself is pluggable via SetBackoffPolicy.
 	BackoffBase uint64
 	// UFOFaultStallCycles is the per-try stall under StallOnUFOFault.
 	UFOFaultStallCycles uint64
@@ -66,6 +68,9 @@ type System struct {
 	m   *machine.Machine
 	stm *ustm.STM
 	pol Policy
+
+	backoff cm.Spec
+	cmgr    *cm.Manager
 }
 
 // New builds a hybrid over the machine with the given USTM configuration
@@ -73,9 +78,9 @@ type System struct {
 // depends on it — so cfg.StrongAtomicity is forced on.
 func New(m *machine.Machine, cfg ustm.Config, pol Policy) *System {
 	cfg.StrongAtomicity = true
-	if pol.BackoffBase == 0 {
-		pol.BackoffBase = 64
-	}
+	// BackoffBase is deliberately not defaulted here: zero means "use the
+	// contention-management default" and is resolved at the single
+	// validation site, cm.Spec.Policy.
 	if pol.UFOFaultStallTries == 0 {
 		pol.UFOFaultStallTries = 16
 	}
@@ -95,6 +100,23 @@ func (s *System) Stats() *tm.Stats { return s.stm.Stats() }
 // STM exposes the embedded software TM (tests and the retry machinery
 // use it).
 func (s *System) STM() *ustm.STM { return s.stm }
+
+// SetBackoffPolicy implements cm.Tunable: it selects the contention-
+// management policy. Call before the first transaction runs.
+func (s *System) SetBackoffPolicy(spec cm.Spec) {
+	s.backoff = spec
+	s.cmgr = nil
+}
+
+// CM implements cm.Instrumented. The manager is built lazily so the
+// BackoffBase knob and SetBackoffPolicy both take effect regardless of
+// call order, as long as they precede the first transaction.
+func (s *System) CM() *cm.Manager {
+	if s.cmgr == nil {
+		s.cmgr = cm.NewManager(s.backoff, s.pol.BackoffBase)
+	}
+	return s.cmgr
+}
 
 // Exec implements tm.System.
 func (s *System) Exec(p *machine.Proc) tm.Exec {
@@ -141,12 +163,14 @@ func (e *exec) Store(addr, val uint64) { ustm.NTStore(e.s.stm, e.Proc(), addr, v
 func (e *exec) Atomic(body func(tm.Tx)) {
 	age := e.s.m.NextAge()
 	stats := e.s.Stats()
+	cmgr := e.s.CM()
 	conflictAborts := 0
 	totalAborts := 0
 	for {
 		reason, committed := e.tryHW(age, body)
 		if committed {
 			stats.HWCommits++
+			cmgr.TxDone(age)
 			e.wakeRetriers()
 			e.runDeferred()
 			return
@@ -157,17 +181,19 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			machine.AbortException, machine.AbortNesting, machine.AbortExplicit:
 			// Conditions hardware will never satisfy: fail over now.
 			e.failover(age, body)
+			cmgr.TxDone(age)
 			return
 		case machine.AbortPageFault:
 			// Resolve the fault (touch the page non-transactionally) and
 			// retry in hardware without counting an abort.
-			e.Proc().Elapse(500)
+			cmgr.PageFaultStall(e.Proc())
 			continue
 		case machine.AbortConflict, machine.AbortUFOKill,
 			machine.AbortNonTConflict, machine.AbortUFOFault:
 			conflictAborts++
 			if e.s.pol.FailoverOnNthConflict > 0 && conflictAborts >= e.s.pol.FailoverOnNthConflict {
 				e.failover(age, body)
+				cmgr.TxDone(age)
 				return
 			}
 		case machine.AbortInterrupt:
@@ -175,13 +201,15 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 		default:
 			panic("core: unclassified abort reason " + reason.String())
 		}
-		if totalAborts < 7 {
-			totalAborts++ // the saturating 3-bit abort counter
-		}
+		totalAborts++ // the policy clamps the shift (saturating counter)
 		stats.HWRetries++
-		backoff := e.s.pol.BackoffBase << uint(totalAborts)
-		backoff += uint64(e.Proc().Rand().Intn(int(e.s.pol.BackoffBase)))
-		e.Proc().Elapse(backoff)
+		if cmgr.OnAbort(e.Proc(), age, totalAborts, reason) != cm.EscalateNone {
+			// The policy declared this transaction starving: stop burning
+			// hardware attempts and serialize it through the software path.
+			e.failover(age, body)
+			cmgr.TxDone(age)
+			return
+		}
 	}
 }
 

@@ -272,10 +272,15 @@ func TestDefaultPolicyValues(t *testing.T) {
 	if p.FailoverOnNthConflict != 0 || p.StallOnUFOFault {
 		t.Fatal("default policy must match the paper's recommendations")
 	}
-	// New must default zero-valued knobs.
+	// New must default zero-valued knobs. BackoffBase stays zero on the
+	// Policy struct — the contention-management layer resolves it (to
+	// cm.DefaultBase) at its single validation site, exercised via CM().
 	s := New(testMachine(1), ustm.DefaultConfig(), Policy{})
-	if s.pol.BackoffBase == 0 || s.pol.UFOFaultStallTries == 0 {
+	if s.pol.UFOFaultStallTries == 0 {
 		t.Fatal("zero policy not defaulted")
+	}
+	if s.CM().PolicyName() != "exp" {
+		t.Fatalf("default backoff policy = %q, want exp", s.CM().PolicyName())
 	}
 	if s.Name() != "ufo-hybrid" {
 		t.Fatal("name wrong")

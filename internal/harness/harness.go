@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"repro/internal/cm"
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/hytm"
@@ -60,6 +61,11 @@ type Options struct {
 	OTableRows int
 	// Policy configures the UFO hybrid.
 	Policy core.Policy
+	// CM selects the contention-management (backoff) policy for every
+	// system that supports one (cm.Tunable). The zero value is the
+	// paper's capped-exponential default. Spec is a value type: each
+	// sweep cell instantiates its own policy, so cells stay independent.
+	CM cm.Spec
 	// TraceLimit, when positive, enables machine tracing (most recent
 	// events kept) and returns the trace in the Result.
 	TraceLimit int
@@ -89,6 +95,14 @@ func DefaultOptions() Options {
 
 // Build constructs the named system over a machine.
 func Build(kind SystemKind, m *machine.Machine, opt Options) tm.System {
+	sys := build(kind, m, opt)
+	if t, ok := sys.(cm.Tunable); ok {
+		t.SetBackoffPolicy(opt.CM)
+	}
+	return sys
+}
+
+func build(kind SystemKind, m *machine.Machine, opt Options) tm.System {
 	cfg := ustm.DefaultConfig()
 	if opt.OTableRows != 0 {
 		cfg.OTableRows = opt.OTableRows
@@ -168,6 +182,9 @@ func Run(kind SystemKind, wl stamp.Workload, threads int, opt Options) Result {
 	m.Run(bodies)
 	reg := obs.NewRegistry()
 	sys.Stats().Register(reg)
+	if ci, ok := sys.(cm.Instrumented); ok {
+		ci.CM().Register(reg)
+	}
 	m.RegisterMetrics(reg)
 	res := Result{
 		System:   kind,
@@ -182,6 +199,18 @@ func Run(kind SystemKind, wl stamp.Workload, threads int, opt Options) Result {
 	if prof != nil {
 		prof.Register(reg)
 		res.Contention = prof.Report(opt.ContentionTopK)
+		if ci, ok := sys.(cm.Instrumented); ok {
+			st := ci.CM().Stats()
+			res.Contention.CM = &contention.CMAnnotation{
+				Policy:                ci.CM().PolicyName(),
+				Delays:                st.Delays,
+				DelayCycles:           st.DelayCycles,
+				PageFaultStalls:       st.PageFaultStalls,
+				RetryPolls:            st.RetryPolls,
+				StarvationEscalations: st.StarvationEscalations,
+				TokenAcquisitions:     st.TokenAcquisitions,
+			}
+		}
 	}
 	res.Metrics = reg.Snapshot()
 	return res

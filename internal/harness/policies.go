@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cm"
+)
+
+// PolicyRow is one (workload, policy) cell of the contention-management
+// policy ablation: the Figure 5 workload run on the UFO hybrid at the
+// scale's top thread count under one backoff policy.
+type PolicyRow struct {
+	Workload  string
+	Policy    string // -policy flag value: exp | linear | karma | serialize
+	SeqCycles uint64
+	Result    Result
+}
+
+// PolicySweep compares every contention-management policy (cm.Kinds)
+// across the Figure 5 workloads on the paper's UFO hybrid at the
+// scale's largest thread count. Like every sweep it fans out through
+// the Runner's worker pool and is deterministic for every worker count:
+// each cell owns its machine and instantiates its own policy from the
+// value-typed spec.
+func (r *Runner) PolicySweep(opt Options, scale Scale) ([]PolicyRow, error) {
+	threads := ThreadCounts(scale)[len(ThreadCounts(scale))-1]
+	factories := Benchmarks(scale)
+	var jobs []Job
+	for _, f := range factories {
+		jobs = append(jobs, Job{System: Sequential, Factory: f, Threads: 1, Opt: opt})
+		for _, kind := range cm.Kinds {
+			o := opt
+			o.CM = cm.Spec{Kind: kind}
+			jobs = append(jobs, Job{System: UFOHybrid, Factory: f, Threads: threads, Opt: o})
+		}
+	}
+	results, err := r.Execute(jobs)
+	var out []PolicyRow
+	i := 0
+	for _, f := range factories {
+		seq := results[i].Cycles
+		i++
+		for _, kind := range cm.Kinds {
+			out = append(out, PolicyRow{
+				Workload:  f.Name,
+				Policy:    string(kind),
+				SeqCycles: seq,
+				Result:    results[i],
+			})
+			i++
+		}
+	}
+	return out, err
+}
+
+// PrintPolicySweep renders the policy comparison as one table per
+// workload: speedup plus the policy's own decision counters (delays
+// issued, cycles spent backing off, starvation escalations) next to the
+// retry/failover counts they drive.
+func PrintPolicySweep(w io.Writer, rows []PolicyRow) {
+	workload := ""
+	for _, r := range rows {
+		if r.Workload != workload {
+			workload = r.Workload
+			fmt.Fprintf(w, "\nPolicy ablation — %s (ufo-hybrid, speedup vs. sequential; seq = %d cycles)\n",
+				workload, r.SeqCycles)
+			fmt.Fprintf(w, "%-11s %8s %10s %12s %12s %10s %10s\n",
+				"policy", "speedup", "hwRetries", "failovers", "delayCycles", "delays", "starved")
+		}
+		m := r.Result.Metrics
+		fmt.Fprintf(w, "%-11s %8.2f %10d %12d %12d %10d %10d\n",
+			r.Policy, r.Result.Speedup(r.SeqCycles),
+			r.Result.Stats.HWRetries, r.Result.Stats.Failovers,
+			m.Counter("cm.delay_cycles"), m.Counter("cm.delays"),
+			m.Counter("cm.starvation_escalations"))
+	}
+}

@@ -13,6 +13,7 @@ package hytm
 
 import (
 	"repro/internal/btm"
+	"repro/internal/cm"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/tm"
@@ -28,11 +29,31 @@ type System struct {
 	// barrier, on top of the transactional otable-row access.
 	BarrierCycles uint64
 	// BackoffBase is the exponential-backoff unit for hardware retries.
+	// Zero selects cm.DefaultBase (64).
 	BackoffBase uint64
 	// MaxConflictRetries bounds in-hardware retries of barrier-detected
 	// conflicts before failing over (HyTM retries in hardware, but must
 	// eventually yield to the blocking STM transaction).
 	MaxConflictRetries int
+
+	backoff cm.Spec
+	cmgr    *cm.Manager
+}
+
+// SetBackoffPolicy implements cm.Tunable: it selects the contention-
+// management policy. Call before the first transaction runs.
+func (s *System) SetBackoffPolicy(spec cm.Spec) {
+	s.backoff = spec
+	s.cmgr = nil
+}
+
+// CM implements cm.Instrumented (built lazily so BackoffBase tweaks
+// after New still take effect).
+func (s *System) CM() *cm.Manager {
+	if s.cmgr == nil {
+		s.cmgr = cm.NewManager(s.backoff, s.BackoffBase)
+	}
+	return s.cmgr
 }
 
 // New builds a HyTM over the machine. The embedded USTM is weakly atomic.
@@ -42,7 +63,6 @@ func New(m *machine.Machine, cfg ustm.Config) *System {
 		m:                  m,
 		stm:                ustm.New(m, cfg),
 		BarrierCycles:      6,
-		BackoffBase:        64,
 		MaxConflictRetries: 8,
 	}
 }
@@ -90,12 +110,14 @@ func (e *exec) Store(addr, val uint64) {
 func (e *exec) Atomic(body func(tm.Tx)) {
 	age := e.s.m.NextAge()
 	stats := e.s.Stats()
+	cmgr := e.s.CM()
 	conflicts := 0
 	aborts := 0
 	for {
 		reason, committed := e.tryHW(age, body)
 		if committed {
 			stats.HWCommits++
+			cmgr.TxDone(age)
 			for _, f := range e.onCommit {
 				f()
 			}
@@ -105,6 +127,7 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 		case machine.AbortOverflow, machine.AbortSyscall, machine.AbortIO,
 			machine.AbortException, machine.AbortNesting:
 			e.failover(age, body)
+			cmgr.TxDone(age)
 			return
 		case machine.AbortExplicit:
 			// Barrier-detected STM conflict: retry in hardware, but the
@@ -112,21 +135,23 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			conflicts++
 			if conflicts >= e.s.MaxConflictRetries {
 				e.failover(age, body)
+				cmgr.TxDone(age)
 				return
 			}
 		case machine.AbortPageFault:
-			e.Proc().Elapse(500)
+			cmgr.PageFaultStall(e.Proc())
 			continue
 		default:
 			// Conflict, nonT-conflict, interrupt: retry in hardware.
 		}
-		if aborts < 7 {
-			aborts++
-		}
+		aborts++ // the policy clamps the shift (saturating counter)
 		stats.HWRetries++
-		backoff := e.s.BackoffBase << uint(aborts)
-		backoff += uint64(e.Proc().Rand().Intn(int(e.s.BackoffBase)))
-		e.Proc().Elapse(backoff)
+		if cmgr.OnAbort(e.Proc(), age, aborts, reason) != cm.EscalateNone {
+			// Starving per the policy: serialize through the STM early.
+			e.failover(age, body)
+			cmgr.TxDone(age)
+			return
+		}
 	}
 }
 

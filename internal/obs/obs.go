@@ -400,6 +400,15 @@ func (s *Snapshot) Get(name string) *Metric {
 	return nil
 }
 
+// Counter returns the named counter's value, or 0 when the metric is
+// absent — convenient for report tables over heterogeneous cells.
+func (s *Snapshot) Counter(name string) uint64 {
+	if m := s.Get(name); m != nil {
+		return m.Value
+	}
+	return 0
+}
+
 // Add merges other into s: counters and gauges sum, histograms merge
 // bucket-wise, and metrics present in only one side carry over. The two
 // sides must agree on the type of any shared name.

@@ -21,6 +21,7 @@ package phtm
 
 import (
 	"repro/internal/btm"
+	"repro/internal/cm"
 	"repro/internal/machine"
 	"repro/internal/tm"
 	"repro/internal/ustm"
@@ -39,10 +40,31 @@ type System struct {
 	// phase (-1 before any has): the party phase aborts are attributed to.
 	lastSTMProc int
 
+	// BackoffBase is the exponential-backoff unit for hardware retries.
+	// Zero selects cm.DefaultBase (64).
 	BackoffBase uint64
 	// PhasePollCycles is the stall interval while waiting for an STM
 	// phase to drain.
 	PhasePollCycles uint64
+
+	backoff cm.Spec
+	cmgr    *cm.Manager
+}
+
+// SetBackoffPolicy implements cm.Tunable: it selects the contention-
+// management policy. Call before the first transaction runs.
+func (s *System) SetBackoffPolicy(spec cm.Spec) {
+	s.backoff = spec
+	s.cmgr = nil
+}
+
+// CM implements cm.Instrumented (built lazily so BackoffBase tweaks
+// after New still take effect).
+func (s *System) CM() *cm.Manager {
+	if s.cmgr == nil {
+		s.cmgr = cm.NewManager(s.backoff, s.BackoffBase)
+	}
+	return s.cmgr
 }
 
 // New builds a PhTM over the machine. The embedded USTM is weakly atomic
@@ -55,7 +77,6 @@ func New(m *machine.Machine, cfg ustm.Config) *System {
 		numSTMAddr:      m.Mem.Sbrk(64),
 		numMustSTMAddr:  m.Mem.Sbrk(64),
 		lastSTMProc:     -1,
-		BackoffBase:     64,
 		PhasePollCycles: 60,
 	}
 }
@@ -121,11 +142,13 @@ func (e *exec) bumpMustSTM(d int) {
 func (e *exec) Atomic(body func(tm.Tx)) {
 	age := e.s.m.NextAge()
 	stats := e.s.Stats()
+	cmgr := e.s.CM()
 	aborts := 0
 	for {
 		if e.s.numMustSTM > 0 {
 			// An STM phase is in force: start directly in software.
 			e.runSW(age, body, false)
+			cmgr.TxDone(age)
 			return
 		}
 		if e.s.numSTM > 0 {
@@ -137,6 +160,7 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 		reason, committed := e.tryHW(age, body)
 		if committed {
 			stats.HWCommits++
+			cmgr.TxDone(age)
 			for _, f := range e.onCommit {
 				f()
 			}
@@ -152,21 +176,25 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			machine.AbortException, machine.AbortNesting, machine.AbortExplicit:
 			// Hardware cannot run this transaction: enter an STM phase.
 			e.runSW(age, body, true)
+			cmgr.TxDone(age)
 			return
 		case machine.AbortPageFault:
-			e.Proc().Elapse(500)
+			cmgr.PageFaultStall(e.Proc())
 			continue
 		default:
 			// Conflict, nonT-conflict (including the counter kill),
 			// interrupt: retry; the phase checks above handle mode.
 		}
-		if aborts < 7 {
-			aborts++
-		}
+		aborts++ // the policy clamps the shift (saturating counter)
 		stats.HWRetries++
-		backoff := e.s.BackoffBase << uint(aborts)
-		backoff += uint64(e.Proc().Rand().Intn(int(e.s.BackoffBase)))
-		e.Proc().Elapse(backoff)
+		if cmgr.OnAbort(e.Proc(), age, aborts, reason) != cm.EscalateNone {
+			// Starving per the policy: a must-STM phase is PhTM's
+			// serialization mechanism — it holds hardware out until this
+			// transaction completes.
+			e.runSW(age, body, true)
+			cmgr.TxDone(age)
+			return
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ package sle
 
 import (
 	"repro/internal/btm"
+	"repro/internal/cm"
 	"repro/internal/machine"
 	"repro/internal/tm"
 )
@@ -25,13 +26,32 @@ type Manager struct {
 	// MaxAttempts is how many elision attempts precede falling back to
 	// real acquisition.
 	MaxAttempts int
-	// BackoffBase is the exponential backoff unit between attempts.
+	// BackoffBase is the exponential backoff unit between attempts. Zero
+	// selects cm.DefaultBase (64).
 	BackoffBase uint64
 	// SpinCycles is the poll interval when waiting for a held lock.
 	SpinCycles uint64
 
-	stats Stats
-	locks map[uint64]*lockState
+	backoff cm.Spec
+	cmgr    *cm.Manager
+	stats   Stats
+	locks   map[uint64]*lockState
+}
+
+// SetBackoffPolicy implements cm.Tunable: it selects the contention-
+// management policy. Call before the first critical section runs.
+func (mgr *Manager) SetBackoffPolicy(spec cm.Spec) {
+	mgr.backoff = spec
+	mgr.cmgr = nil
+}
+
+// CM implements cm.Instrumented (built lazily so MaxAttempts and
+// BackoffBase tweaks after New still take effect).
+func (mgr *Manager) CM() *cm.Manager {
+	if mgr.cmgr == nil {
+		mgr.cmgr = cm.NewManager(mgr.backoff, mgr.BackoffBase)
+	}
+	return mgr.cmgr
 }
 
 // Stats counts elision outcomes.
@@ -53,7 +73,6 @@ func New(m *machine.Machine) *Manager {
 	return &Manager{
 		m:           m,
 		MaxAttempts: 3,
-		BackoffBase: 64,
 		SpinCycles:  40,
 		locks:       make(map[uint64]*lockState),
 	}
@@ -79,6 +98,10 @@ type Exec struct {
 	mgr *Manager
 	u   *btm.Unit
 	p   *machine.Proc
+
+	// seq numbers this context's critical sections; combined with the
+	// processor ID it identifies one to the contention manager.
+	seq uint64
 }
 
 // Exec returns the context for one processor.
@@ -91,15 +114,27 @@ func (mgr *Manager) Exec(p *machine.Proc) *Exec {
 // safe to re-execute (attempts can abort).
 func (e *Exec) Critical(l Lock, body func(Mem)) {
 	st := e.mgr.locks[l.addr]
+	cmgr := e.mgr.CM()
+	id := uint64(e.p.ID())<<32 | e.seq
+	e.seq++
 	for attempt := 0; attempt < e.mgr.MaxAttempts; attempt++ {
-		if e.tryElide(st, body) {
+		ok, reason := e.tryElide(st, body)
+		if ok {
 			e.mgr.stats.Elided++
+			cmgr.TxDone(id)
 			return
 		}
 		e.mgr.stats.Aborts++
-		backoff := e.mgr.BackoffBase << uint(attempt)
-		backoff += uint64(e.p.Rand().Intn(int(e.mgr.BackoffBase)))
-		e.p.Elapse(backoff)
+		// attempt is 0-based here (the first failed elision backs off by
+		// one Base unit), matching the original loop; the policy clamps
+		// the shift, which the original `Base << attempt` did not — any
+		// MaxAttempts > 57 used to overflow the uint64 into zero-or-absurd
+		// delays.
+		if cmgr.OnAbort(e.p, id, attempt, reason) != cm.EscalateNone {
+			// Starving per the policy: stop speculating now and take the
+			// real lock below.
+			break
+		}
 	}
 	// Fall back: take the lock for real. The write to the lock word
 	// aborts every concurrent elider (their speculative read of the word
@@ -110,12 +145,14 @@ func (e *Exec) Critical(l Lock, body func(Mem)) {
 		body(direct{e.p})
 	}()
 	e.mgr.stats.Acquired++
+	cmgr.TxDone(id)
 }
 
-// tryElide attempts the critical section as a hardware transaction.
-func (e *Exec) tryElide(st *lockState, body func(Mem)) bool {
+// tryElide attempts the critical section as a hardware transaction,
+// reporting the abort reason on failure.
+func (e *Exec) tryElide(st *lockState, body func(Mem)) (bool, machine.AbortReason) {
 	e.u.Begin(e.mgr.m.NextAge())
-	_, _, aborted := tm.Catch(func() {
+	reason, _, aborted := tm.Catch(func() {
 		// Speculatively read the lock word: it must be free, and it
 		// joins the read set so a real acquisition kills this attempt.
 		v, out := e.u.Load(st.addr)
@@ -132,9 +169,13 @@ func (e *Exec) tryElide(st *lockState, body func(Mem)) bool {
 		body(speculative{e})
 	})
 	if aborted {
-		return false
+		return false, reason
 	}
-	return e.u.End().Kind == machine.OK
+	out := e.u.End()
+	if out.Kind == machine.OK {
+		return true, machine.AbortNone
+	}
+	return false, out.Reason
 }
 
 func (e *Exec) acquire(st *lockState) {

@@ -3,6 +3,7 @@ package sle
 import (
 	"testing"
 
+	"repro/internal/cm"
 	"repro/internal/machine"
 )
 
@@ -99,6 +100,49 @@ func TestFallbackAcquiresLock(t *testing.T) {
 	}
 	if mgr.Stats().Acquired == 0 {
 		t.Fatal("expected some real acquisitions under persistent conflict")
+	}
+}
+
+func TestLargeMaxAttemptsDelaysStayCapped(t *testing.T) {
+	// Regression for the backoff shift overflow: the loop used to back
+	// off by `Base << attempt`, so MaxAttempts = 80 shifted a uint64 by
+	// up to 79 bits — wrapping to zero-or-absurd delays. The policy now
+	// clamps the exponent (min(attempt, 7)); 80 failed elisions must
+	// terminate promptly with every delay ≤ Base<<7 + jitter.
+	m := testMachine(1)
+	mgr := New(m)
+	mgr.MaxAttempts = 80
+	l := mgr.NewLock()
+	// Set the lock word nonzero without marking it held: every elision
+	// attempt sees a "taken" lock and aborts, but the final fallback can
+	// still acquire for real.
+	m.Mem.Write64(l.addr, 1)
+	e := mgr.Exec(m.Proc(0))
+	slot := m.Mem.Sbrk(64)
+	m.Run([]func(*machine.Proc){func(p *machine.Proc) {
+		e.Critical(l, func(mem Mem) {
+			mem.Store(slot, mem.Load(slot)+1)
+		})
+	}})
+	if got := m.Mem.Read64(slot); got != 1 {
+		t.Fatalf("slot = %d, want 1", got)
+	}
+	st := mgr.Stats()
+	if st.Aborts != 80 || st.Acquired != 1 {
+		t.Fatalf("stats = %+v: want 80 failed elisions then one real acquisition", st)
+	}
+	cs := mgr.CM().Stats()
+	if cs.Delays != 80 {
+		t.Fatalf("delays = %d, want 80 (one per failed attempt)", cs.Delays)
+	}
+	if max := cm.DefaultBase<<cm.DefaultMaxShift + cm.DefaultBase - 1; cs.MaxDelay > max {
+		t.Fatalf("max delay %d exceeds the capped schedule's bound %d", cs.MaxDelay, max)
+	}
+	// 80 capped delays sum well under 80 * (64<<7 + 63) ≈ 666k cycles;
+	// an overflowing shift would either stall forever or finish with a
+	// huge wrapped Elapse.
+	if m.Cycles() > 1_000_000 {
+		t.Fatalf("elapsed %d cycles: delays not capped", m.Cycles())
 	}
 }
 

@@ -13,6 +13,7 @@ package tl2
 import (
 	"fmt"
 
+	"repro/internal/cm"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/tm"
@@ -27,7 +28,9 @@ type Config struct {
 	BarrierCycles  uint64
 	CommitCycles   uint64
 	PerWriteCycles uint64 // lock + write-back + unlock logic per stripe
-	BackoffBase    uint64
+	// BackoffBase is the exponential-backoff unit between attempts. Zero
+	// selects cm.DefaultBase (64).
+	BackoffBase uint64
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -38,7 +41,6 @@ func DefaultConfig() Config {
 		BarrierCycles:  8,
 		CommitCycles:   20,
 		PerWriteCycles: 10,
-		BackoffBase:    64,
 	}
 }
 
@@ -60,6 +62,25 @@ type System struct {
 	stripes   []stripe
 	lockBase  uint64
 	mask      uint64
+
+	backoff cm.Spec
+	cmgr    *cm.Manager
+}
+
+// SetBackoffPolicy implements cm.Tunable: it selects the contention-
+// management policy. Call before the first transaction runs.
+func (s *System) SetBackoffPolicy(spec cm.Spec) {
+	s.backoff = spec
+	s.cmgr = nil
+}
+
+// CM implements cm.Instrumented (built lazily so cfg.BackoffBase tweaks
+// after New still take effect).
+func (s *System) CM() *cm.Manager {
+	if s.cmgr == nil {
+		s.cmgr = cm.NewManager(s.backoff, s.cfg.BackoffBase)
+	}
+	return s.cmgr
 }
 
 // New builds a TL2 instance over the machine.
@@ -109,6 +130,11 @@ type exec struct {
 	onCommit  []func()
 	nestSaves []tl2Save
 	nestUndo  []redoUndo
+
+	// txSeq numbers this context's transactions; combined with the
+	// processor ID it identifies a transaction to the contention manager
+	// (TL2 has no hardware age to reuse).
+	txSeq uint64
 }
 
 // tl2Save is a closed-nest savepoint over the speculative state.
@@ -144,35 +170,40 @@ func (e *exec) Store(addr, val uint64) {
 // Atomic implements tm.Exec: the standard TL2 loop — speculate, validate,
 // commit; abort restarts with backoff.
 func (e *exec) Atomic(body func(tm.Tx)) {
+	cmgr := e.s.CM()
+	id := uint64(e.p.ID())<<32 | e.txSeq
+	e.txSeq++
 	attempts := 0
 	for {
 		e.begin()
-		_, retryReq, aborted := tm.Catch(func() { body(tl2Tx{e}) })
+		reason, retryReq, aborted := tm.Catch(func() { body(tl2Tx{e}) })
 		if !aborted {
 			if e.commit() {
 				e.s.stats.SWCommits++
 				e.p.RecordSWCommit()
+				cmgr.TxDone(id)
 				for _, f := range e.onCommit {
 					f()
 				}
 				return
 			}
 			aborted = true
+			reason = machine.AbortConflict
 		}
 		e.inTx = false
 		if retryReq {
 			// Poll-based retry emulation (TL2 has no native waiting).
 			e.s.stats.Retries++
-			e.p.Elapse(2000)
+			cmgr.RetryPoll(e.p)
 			continue
 		}
 		e.s.stats.SWAborts++
-		if attempts < 7 {
-			attempts++
+		attempts++ // the policy clamps the shift (saturating counter)
+		if cmgr.OnAbort(e.p, id, attempts, reason) != cm.EscalateNone {
+			// Starving per the policy: with no other fallback, take the
+			// global serialization token (released at commit).
+			cmgr.AcquireToken(e.p, id)
 		}
-		backoff := e.s.cfg.BackoffBase << uint(attempts)
-		backoff += uint64(e.p.Rand().Intn(int(e.s.cfg.BackoffBase)))
-		e.p.Elapse(backoff)
 	}
 }
 

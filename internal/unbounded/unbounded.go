@@ -8,6 +8,7 @@ package unbounded
 
 import (
 	"repro/internal/btm"
+	"repro/internal/cm"
 	"repro/internal/machine"
 	"repro/internal/tm"
 )
@@ -17,12 +18,32 @@ type System struct {
 	m     *machine.Machine
 	stats tm.Stats
 	// BackoffBase is the exponential-backoff unit for contention retries.
+	// Zero selects cm.DefaultBase (64).
 	BackoffBase uint64
+
+	backoff cm.Spec
+	cmgr    *cm.Manager
 }
 
 // New builds the system.
 func New(m *machine.Machine) *System {
-	return &System{m: m, BackoffBase: 64}
+	return &System{m: m}
+}
+
+// SetBackoffPolicy implements cm.Tunable: it selects the contention-
+// management policy. Call before the first transaction runs.
+func (s *System) SetBackoffPolicy(spec cm.Spec) {
+	s.backoff = spec
+	s.cmgr = nil
+}
+
+// CM implements cm.Instrumented (built lazily so BackoffBase tweaks
+// after New still take effect).
+func (s *System) CM() *cm.Manager {
+	if s.cmgr == nil {
+		s.cmgr = cm.NewManager(s.backoff, s.BackoffBase)
+	}
+	return s.cmgr
 }
 
 // Name implements tm.System.
@@ -66,6 +87,7 @@ func (e *exec) Store(addr, val uint64) {
 // hardware burden) of an unbounded HTM.
 func (e *exec) Atomic(body func(tm.Tx)) {
 	age := e.s.m.NextAge()
+	cmgr := e.s.CM()
 	aborts := 0
 	for {
 		e.onCommit = e.onCommit[:0]
@@ -75,6 +97,7 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			out := e.u.End()
 			if out.Kind == machine.OK {
 				e.s.stats.HWCommits++
+				cmgr.TxDone(age)
 				for _, f := range e.onCommit {
 					f()
 				}
@@ -82,21 +105,30 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			}
 			reason = out.Reason
 		}
-		_ = reason
 		if retryReq {
 			// No software fallback exists: emulate transactional waiting
 			// by polling re-execution with a long backoff.
 			e.s.stats.Retries++
-			e.Proc().Elapse(2000)
+			cmgr.RetryPoll(e.Proc())
 			continue
 		}
-		if aborts < 7 {
-			aborts++
+		if reason == machine.AbortPageFault {
+			// A page fault is not contention: resolve it (touch the page
+			// non-transactionally) with the standard fixed stall and
+			// re-execute — the package doc's "resolving page faults ... by
+			// re-execution", which the old loop wrongly routed through
+			// exponential contention backoff.
+			cmgr.PageFaultStall(e.Proc())
+			continue
 		}
+		aborts++ // the policy clamps the shift (saturating counter)
 		e.s.stats.HWRetries++
-		backoff := e.s.BackoffBase << uint(aborts)
-		backoff += uint64(e.Proc().Rand().Intn(int(e.s.BackoffBase)))
-		e.Proc().Elapse(backoff)
+		if cmgr.OnAbort(e.Proc(), age, aborts, reason) != cm.EscalateNone {
+			// Starving per the policy: with no software fallback, take the
+			// global serialization token (released at commit) so this
+			// transaction stops losing to the whole machine.
+			cmgr.AcquireToken(e.Proc(), age)
+		}
 	}
 }
 
