@@ -32,10 +32,10 @@ import (
 // the stall and poll cycles are the fixed costs the systems previously
 // hard-coded inline.
 const (
-	DefaultBase     uint64 = 64
-	DefaultMaxShift        = 7
-	DefaultStarveK         = 8
-	DefaultLinearCap       = 128
+	DefaultBase      uint64 = 64
+	DefaultMaxShift         = 7
+	DefaultStarveK          = 8
+	DefaultLinearCap        = 128
 
 	// PageFaultStallCycles models resolving a page fault (touching the
 	// page non-transactionally) before re-executing — not contention.

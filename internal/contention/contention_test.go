@@ -24,7 +24,7 @@ func TestProfileAggregation(t *testing.T) {
 	pr.RecordEdge(edge(0, 1, 0x100, machine.AbortConflict, 10))
 	pr.RecordEdge(edge(0, 1, 0x13f, machine.AbortConflict, 20)) // same 64B line as 0x100
 	pr.RecordEdge(edge(1, 0, 0x200, machine.AbortOverflow, 30))
-	pr.RecordEdge(edge(-1, 0, 0x200, machine.AbortConflict, 40))       // unknown aggressor
+	pr.RecordEdge(edge(-1, 0, 0x200, machine.AbortConflict, 40)) // unknown aggressor
 	swKill := machine.ConflictEdge{Aggressor: 1, Victim: 0, SW: true, Reason: machine.AbortConflict, Cycle: 50}
 	pr.RecordEdge(swKill) // no address
 	pr.RecordCommit(0, true, 60)
@@ -113,11 +113,11 @@ func TestReportHotLineOrdering(t *testing.T) {
 // includes the empty windows.
 func TestReportWindows(t *testing.T) {
 	pr := New(2, 100)
-	pr.RecordEdge(edge(0, 1, 0x100, machine.AbortConflict, 5))    // window 0
-	pr.RecordEdge(edge(0, 1, 0x100, machine.AbortConflict, 199))  // window 1
-	pr.RecordEdge(edge(1, 0, 0x100, machine.AbortConflict, 430))  // window 4
-	pr.RecordCommit(0, true, 150)                                 // window 1
-	pr.RecordCommit(1, false, 450)                                // window 4
+	pr.RecordEdge(edge(0, 1, 0x100, machine.AbortConflict, 5))   // window 0
+	pr.RecordEdge(edge(0, 1, 0x100, machine.AbortConflict, 199)) // window 1
+	pr.RecordEdge(edge(1, 0, 0x100, machine.AbortConflict, 430)) // window 4
+	pr.RecordCommit(0, true, 150)                                // window 1
+	pr.RecordCommit(1, false, 450)                               // window 4
 
 	rep := pr.Report(0)
 	if len(rep.Windows) != 5 {

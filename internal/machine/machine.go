@@ -157,6 +157,12 @@ type Params struct {
 	MaxSteps uint64
 	Seed     uint64
 
+	// ReferenceScheduler runs the machine on the engine's retained
+	// reference scheduler instead of the run-ahead fast path (sim.Config.
+	// Reference). Simulated results are bit-identical; differential tests
+	// use it to pin the fast path to the specification.
+	ReferenceScheduler bool
+
 	HWPolicy ContentionPolicy
 	// TrueConflictUFOKills enables the Figure 8 limit study: set_ufo_bits
 	// only aborts hardware transactions whose footprint truly conflicts
@@ -270,11 +276,16 @@ func New(p Params) *Machine {
 	}
 	m := &Machine{
 		Params: p,
-		Eng:    sim.New(sim.Config{Procs: p.Procs, Quantum: p.Quantum, MaxSteps: p.MaxSteps}),
-		Mem:    mem.New(p.MemBytes),
-		Rand:   sim.NewRand(p.Seed),
-		dir:    cache.NewDirectory(),
-		warm:   make(map[uint64]bool),
+		Eng: sim.New(sim.Config{
+			Procs:     p.Procs,
+			Quantum:   p.Quantum,
+			MaxSteps:  p.MaxSteps,
+			Reference: p.ReferenceScheduler,
+		}),
+		Mem:  mem.New(p.MemBytes),
+		Rand: sim.NewRand(p.Seed),
+		dir:  cache.NewDirectory(),
+		warm: make(map[uint64]bool),
 	}
 	// Reserve the first page so fixed low addresses used by small tests
 	// and examples never collide with Sbrk-allocated metadata (otables,

@@ -45,7 +45,8 @@ type Proc struct {
 	l1  *cache.L1
 	ufo bool // UFO faults enabled for the current thread
 
-	hw *HWTx // in-flight hardware transaction, or nil
+	hw    *HWTx // in-flight hardware transaction, or nil
+	hwBuf *HWTx // pooled transaction state reused across BeginHW calls
 
 	// Software-transaction identity, published by the STM layer so the
 	// machine can classify STM-vs-HTM conflicts (Section 5.4's ">99%
@@ -117,13 +118,24 @@ func (p *Proc) BeginHW(age uint64, bounded bool) {
 	if p.hw != nil {
 		panic("machine: BeginHW with transaction already active")
 	}
-	p.hw = &HWTx{
-		Age:      age,
-		Bounded:  bounded,
-		ReadSet:  make(map[uint64]struct{}),
-		WriteSet: make(map[uint64]struct{}),
-		Spec:     make(map[uint64]uint64),
+	// Transactions are frequent and short; reuse one HWTx (and its maps,
+	// which keep their buckets across clears) per processor instead of
+	// allocating fresh state on every begin.
+	t := p.hwBuf
+	if t == nil {
+		t = &HWTx{
+			ReadSet:  make(map[uint64]struct{}),
+			WriteSet: make(map[uint64]struct{}),
+			Spec:     make(map[uint64]uint64),
+		}
+		p.hwBuf = t
 	}
+	t.Age, t.Bounded = age, bounded
+	t.pendingAbort, t.abortAddr, t.abortHasAddr = AbortNone, 0, false
+	clear(t.ReadSet)
+	clear(t.WriteSet)
+	clear(t.Spec)
+	p.hw = t
 	p.record(TraceHWBegin, AbortNone, 0, age, FlagAge)
 }
 
@@ -267,9 +279,9 @@ func (p *Proc) killHWFrom(aggressor int, victim *Proc, reason AbortReason, addr 
 		victim.l1.Invalidate(l)
 		p.m.dir.Remove(l, victim.ID())
 	}
-	t.ReadSet = map[uint64]struct{}{}
-	t.WriteSet = map[uint64]struct{}{}
-	t.Spec = map[uint64]uint64{}
+	clear(t.ReadSet)
+	clear(t.WriteSet)
+	clear(t.Spec)
 }
 
 // timerInterrupt models the scheduling-timer quantum: an in-flight

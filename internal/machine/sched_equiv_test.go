@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"testing"
+)
+
+// TestReferenceSchedulerBitIdentical runs a contended transactional
+// workload under both the fast-path and reference schedulers
+// (Params.ReferenceScheduler) and requires bit-identical simulated
+// results: final cycle count, per-proc clocks, event counters, and
+// committed memory. This is the machine-level differential test pinning
+// the run-ahead scheduler (DESIGN.md §12) to the specification.
+func TestReferenceSchedulerBitIdentical(t *testing.T) {
+	const procs = 4
+
+	run := func(reference bool) *Machine {
+		params := testParams(procs)
+		params.Quantum = 500
+		params.ReferenceScheduler = reference
+		m := New(params)
+		ws := make([]func(*Proc), procs)
+		for i := 0; i < procs; i++ {
+			ws[i] = func(p *Proc) {
+				r := p.Machine().Rand
+				for iter := 0; iter < 40; iter++ {
+					addr := uint64(r.Intn(16)) * 64 // 16 hot lines
+					p.BeginHW(p.Machine().NextAge(), true)
+					_, out := p.TxRead(addr)
+					if out.Kind == OK {
+						out = p.TxWrite(addr, uint64(iter+1))
+					}
+					if p.HW() != nil {
+						p.CommitHW()
+					}
+					p.Elapse(uint64(r.Intn(30)))
+				}
+			}
+		}
+		m.Run(ws)
+		return m
+	}
+
+	fast, ref := run(false), run(true)
+
+	if fast.Cycles() != ref.Cycles() {
+		t.Errorf("total cycles: fast %d, reference %d", fast.Cycles(), ref.Cycles())
+	}
+	for i := 0; i < procs; i++ {
+		fn, rn := fast.Proc(i).Now(), ref.Proc(i).Now()
+		if fn != rn {
+			t.Errorf("proc %d clock: fast %d, reference %d", i, fn, rn)
+		}
+	}
+	if fast.Count != ref.Count {
+		t.Errorf("counters diverge:\nfast      %+v\nreference %+v", fast.Count, ref.Count)
+	}
+	for line := uint64(0); line < 16; line++ {
+		addr := line * 64
+		fv, rv := fast.Mem.Read64(addr), ref.Mem.Read64(addr)
+		if fv != rv {
+			t.Errorf("mem[%#x]: fast %d, reference %d", addr, fv, rv)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package mem
+
+import "testing"
+
+// These tests pin the lazy page-granular storage semantics: a nil page
+// must be indistinguishable from an explicitly zeroed one through every
+// accessor, and pages must materialize only when a write actually needs
+// to record non-zero state.
+
+func TestUntouchedPagesReadZero(t *testing.T) {
+	m := New(8 * PageBytes)
+	for _, addr := range []uint64{0, PageBytes, 3*PageBytes + 512, 7*PageBytes + PageBytes - WordBytes} {
+		if v := m.Read64(addr); v != 0 {
+			t.Fatalf("Read64(%#x) = %d on untouched memory", addr, v)
+		}
+		if b := m.UFO(addr); b != UFONone {
+			t.Fatalf("UFO(%#x) = %v on untouched memory", addr, b)
+		}
+		if m.Faults(addr, false) || m.Faults(addr, true) {
+			t.Fatalf("Faults(%#x) true on untouched memory", addr)
+		}
+	}
+}
+
+func TestZeroWriteDoesNotMaterialize(t *testing.T) {
+	m := New(4 * PageBytes)
+	m.Write64(PageBytes+64, 0)
+	m.SetUFO(PageBytes+64, UFONone)
+	m.AddUFO(PageBytes+64, UFONone)
+	if m.pages[1] != nil {
+		t.Fatal("writing zero materialized a data page")
+	}
+	if m.ufoPages[1] != nil {
+		t.Fatal("setting UFONone materialized a UFO page")
+	}
+}
+
+func TestNonZeroWriteMaterializesOnlyItsPage(t *testing.T) {
+	m := New(4 * PageBytes)
+	m.Write64(2*PageBytes+8, 42)
+	for i, pg := range m.pages {
+		if (pg != nil) != (i == 2) {
+			t.Fatalf("page %d materialized=%v after single write to page 2", i, pg != nil)
+		}
+	}
+	if v := m.Read64(2*PageBytes + 8); v != 42 {
+		t.Fatalf("read back %d, want 42", v)
+	}
+	// The rest of the materialized page must read zero.
+	if v := m.Read64(2 * PageBytes); v != 0 {
+		t.Fatalf("neighbor word on materialized page reads %d", v)
+	}
+	// Overwriting with zero keeps the page (no demotion) and reads zero.
+	m.Write64(2*PageBytes+8, 0)
+	if v := m.Read64(2*PageBytes + 8); v != 0 {
+		t.Fatalf("after zero overwrite, read %d", v)
+	}
+}
+
+func TestUFOWriteMaterializesUFOPageOnly(t *testing.T) {
+	m := New(4 * PageBytes)
+	m.AddUFO(PageBytes, UFOFaultOnRead)
+	if m.ufoPages[1] == nil {
+		t.Fatal("AddUFO did not materialize the UFO page")
+	}
+	if m.pages[1] != nil {
+		t.Fatal("AddUFO materialized a data page")
+	}
+	if b := m.UFO(PageBytes); b != UFOFaultOnRead {
+		t.Fatalf("UFO = %v, want fault-on-read", b)
+	}
+	if !m.Faults(PageBytes, false) {
+		t.Fatal("Faults(read) false after AddUFO fault-on-read")
+	}
+}
+
+func TestGrowSharesMaterializedPages(t *testing.T) {
+	m := New(2 * PageBytes)
+	m.Write64(0, 7)
+	m.SetUFO(64, UFOFaultOnWrite)
+	before := &m.pages[0][0]
+	m.Sbrk(8 * PageBytes) // forces grow
+	if m.Size() < 8*PageBytes {
+		t.Fatalf("size %d after growth", m.Size())
+	}
+	if &m.pages[0][0] != before {
+		t.Fatal("grow copied a page instead of sharing it")
+	}
+	if v := m.Read64(0); v != 7 {
+		t.Fatalf("data lost across grow: %d", v)
+	}
+	if b := m.UFO(64); b != UFOFaultOnWrite {
+		t.Fatalf("UFO bits lost across grow: %v", b)
+	}
+	// New tail is lazily untouched.
+	if v := m.Read64(m.Size() - WordBytes); v != 0 {
+		t.Fatalf("grown tail reads %d", v)
+	}
+}
+
+func TestNewRoundsUpToWholePages(t *testing.T) {
+	m := New(PageBytes + 1)
+	if m.Size() != 2*PageBytes {
+		t.Fatalf("size %d, want %d", m.Size(), 2*PageBytes)
+	}
+	if m2 := New(0); m2.Size() != PageBytes {
+		t.Fatalf("zero-size memory rounds to %d", m2.Size())
+	}
+}

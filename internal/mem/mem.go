@@ -60,30 +60,43 @@ func LineOf(addr uint64) uint64 { return addr / LineBytes }
 // LineAddr returns the base byte address of line index l.
 func LineAddr(l uint64) uint64 { return l * LineBytes }
 
+const (
+	// PageWords is the number of words per page.
+	PageWords = PageBytes / WordBytes
+)
+
 // Memory is the simulated physical memory plus per-line UFO bit storage.
 // The zero value is not usable; call New.
+//
+// Storage is page-granular and lazily allocated: a nil page reads as
+// all-zero words (and all-clear UFO bits) and is materialized only on the
+// first write that needs it. Simulations configure tens of megabytes of
+// architectural memory per sweep cell but touch a small fraction of it, so
+// eager allocation — one zeroed slab per cell — used to dominate the whole
+// sweep's wall-clock (the memclr was ~half the Figure 5 sweep benchmark).
 type Memory struct {
-	words []uint64
-	ufo   []UFOBits // one entry per line
-	brk   uint64    // sbrk-style allocation frontier, in bytes
+	pages    [][]uint64  // PageWords words per entry; nil = untouched (zero)
+	ufoPages [][]UFOBits // PageLines bits per entry; nil = all clear
+	size     uint64      // architectural size in bytes
+	brk      uint64      // sbrk-style allocation frontier, in bytes
 }
 
 // New creates a memory of the given size in bytes (rounded up to a whole
-// page).
+// page). No data pages are allocated until first written.
 func New(sizeBytes uint64) *Memory {
 	if sizeBytes == 0 {
 		sizeBytes = PageBytes
 	}
 	pages := (sizeBytes + PageBytes - 1) / PageBytes
-	sizeBytes = pages * PageBytes
 	return &Memory{
-		words: make([]uint64, sizeBytes/WordBytes),
-		ufo:   make([]UFOBits, sizeBytes/LineBytes),
+		pages:    make([][]uint64, pages),
+		ufoPages: make([][]UFOBits, pages),
+		size:     pages * PageBytes,
 	}
 }
 
 // Size returns the memory size in bytes.
-func (m *Memory) Size() uint64 { return uint64(len(m.words)) * WordBytes }
+func (m *Memory) Size() uint64 { return m.size }
 
 // Sbrk extends the allocation frontier by n bytes (rounded up to a line)
 // and returns the base address of the new region, growing physical memory
@@ -92,63 +105,107 @@ func (m *Memory) Sbrk(n uint64) uint64 {
 	n = (n + LineBytes - 1) / LineBytes * LineBytes
 	base := m.brk
 	m.brk += n
-	for m.brk > m.Size() {
+	for m.brk > m.size {
 		m.grow()
 	}
 	return base
 }
 
+// grow doubles the architectural size. Existing pages are shared, not
+// copied; the new tail is lazily materialized like everything else.
 func (m *Memory) grow() {
-	newWords := make([]uint64, len(m.words)*2)
-	copy(newWords, m.words)
-	m.words = newWords
-	newUFO := make([]UFOBits, len(m.ufo)*2)
-	copy(newUFO, m.ufo)
-	m.ufo = newUFO
+	m.size *= 2
+	pages := m.size / PageBytes
+	newPages := make([][]uint64, pages)
+	copy(newPages, m.pages)
+	m.pages = newPages
+	newUFO := make([][]UFOBits, pages)
+	copy(newUFO, m.ufoPages)
+	m.ufoPages = newUFO
 }
 
 func (m *Memory) checkAddr(addr uint64) {
 	if addr%WordBytes != 0 {
 		panic(fmt.Sprintf("mem: unaligned access at %#x", addr))
 	}
-	if addr >= m.Size() {
-		panic(fmt.Sprintf("mem: access at %#x beyond memory size %#x", addr, m.Size()))
+	if addr >= m.size {
+		panic(fmt.Sprintf("mem: access at %#x beyond memory size %#x", addr, m.size))
 	}
 }
 
 // Read64 returns the committed word at addr.
 func (m *Memory) Read64(addr uint64) uint64 {
 	m.checkAddr(addr)
-	return m.words[addr/WordBytes]
+	pg := m.pages[addr/PageBytes]
+	if pg == nil {
+		return 0
+	}
+	return pg[addr%PageBytes/WordBytes]
 }
 
 // Write64 stores a committed word at addr.
 func (m *Memory) Write64(addr, val uint64) {
 	m.checkAddr(addr)
-	m.words[addr/WordBytes] = val
+	pg := m.pages[addr/PageBytes]
+	if pg == nil {
+		if val == 0 {
+			return // writing zero to an untouched page changes nothing
+		}
+		pg = make([]uint64, PageWords)
+		m.pages[addr/PageBytes] = pg
+	}
+	pg[addr%PageBytes/WordBytes] = val
 }
 
 // UFO returns the UFO bits for the line containing addr
 // (read_ufo_bits).
 func (m *Memory) UFO(addr uint64) UFOBits {
-	return m.ufo[LineOf(addr)]
+	line := LineOf(addr)
+	pg := m.ufoPages[line/PageLines]
+	if pg == nil {
+		return UFONone
+	}
+	return pg[line%PageLines]
 }
 
 // SetUFO replaces the UFO bits for the line containing addr
 // (set_ufo_bits). Coherence actions are the cache layer's job.
 func (m *Memory) SetUFO(addr uint64, bits UFOBits) {
-	m.ufo[LineOf(addr)] = bits
+	line := LineOf(addr)
+	pg := m.ufoPages[line/PageLines]
+	if pg == nil {
+		if bits == UFONone {
+			return
+		}
+		pg = make([]UFOBits, PageLines)
+		m.ufoPages[line/PageLines] = pg
+	}
+	pg[line%PageLines] = bits
 }
 
 // AddUFO ORs bits into the line containing addr (add_ufo_bits).
 func (m *Memory) AddUFO(addr uint64, bits UFOBits) {
-	m.ufo[LineOf(addr)] |= bits
+	if bits == UFONone {
+		return
+	}
+	line := LineOf(addr)
+	pg := m.ufoPages[line/PageLines]
+	if pg == nil {
+		pg = make([]UFOBits, PageLines)
+		m.ufoPages[line/PageLines] = pg
+	}
+	pg[line%PageLines] |= bits
 }
 
 // Faults reports whether an access of the given kind to addr would raise
 // a UFO fault, assuming UFO faults are enabled on the accessing thread.
 func (m *Memory) Faults(addr uint64, write bool) bool {
-	b := m.ufo[LineOf(addr)]
+	line := LineOf(addr)
+	pg := m.ufoPages[line/PageLines]
+	if pg == nil {
+		return false
+	}
+	b := pg[line%PageLines]
 	if write {
 		return b&UFOFaultOnWrite != 0
 	}

@@ -29,9 +29,9 @@ func TestQuantileUniform(t *testing.T) {
 		q    float64
 		want float64
 	}{
-		{0.50, 32 + 19.0/32*31},  // 50.40625
-		{0.90, 64 + 27.0/37*36},  // ≈90.27
-		{0.99, 64 + 36.0/37*36},  // ≈99.03
+		{0.50, 32 + 19.0/32*31}, // 50.40625
+		{0.90, 64 + 27.0/37*36}, // ≈90.27
+		{0.99, 64 + 36.0/37*36}, // ≈99.03
 		{1.00, 100},
 	}
 	for _, c := range cases {

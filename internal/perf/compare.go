@@ -1,0 +1,87 @@
+package perf
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Delta is a baseline-vs-current comparison for one entry.
+type Delta struct {
+	Name       string
+	BaseNs     float64
+	CurNs      float64
+	Ratio      float64 // CurNs / BaseNs; >1 is slower
+	BaseCycles float64
+	CurCycles  float64
+	Gated      bool // matched the gate pattern
+	Regressed  bool // gated and slower than tolerance allows
+	Missing    bool // gated but absent from the current report
+}
+
+// Compare matches every baseline entry against the current report. Gate
+// selects which entries are enforced: a gated entry regresses when its
+// ns/op exceeds baseline*(1+tolerance), or when it is missing from the
+// current report (a silently dropped benchmark must not pass the gate).
+// Non-gated entries are reported informationally only.
+func Compare(base, cur *Report, gate *regexp.Regexp, tolerance float64) []Delta {
+	deltas := make([]Delta, 0, len(base.Entries))
+	for _, b := range base.Entries {
+		d := Delta{Name: b.Name, BaseNs: b.NsPerOp, BaseCycles: b.SimCyclesPerOp}
+		if gate != nil && gate.MatchString(b.Name) {
+			d.Gated = true
+		}
+		c, ok := cur.Lookup(b.Name)
+		if !ok {
+			d.Missing = true
+			d.Regressed = d.Gated
+			deltas = append(deltas, d)
+			continue
+		}
+		d.CurNs = c.NsPerOp
+		d.CurCycles = c.SimCyclesPerOp
+		if b.NsPerOp > 0 {
+			d.Ratio = c.NsPerOp / b.NsPerOp
+		}
+		if d.Gated && d.Ratio > 1+tolerance {
+			d.Regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions filters the deltas that fail the gate.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders a comparison table.
+func Format(deltas []Delta, tolerance float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-40s %14s %14s %8s %7s\n", "benchmark", "base ns/op", "cur ns/op", "ratio", "gate")
+	for _, d := range deltas {
+		status := ""
+		switch {
+		case d.Missing:
+			status = "MISSING"
+		case d.Regressed:
+			status = "FAIL"
+		case d.Gated:
+			status = "ok"
+		}
+		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %8.3f %7s\n", d.Name, d.BaseNs, d.CurNs, d.Ratio, status)
+		if d.CurCycles != d.BaseCycles && !d.Missing {
+			fmt.Fprintf(&sb, "    note: sim cycles/op changed %.0f -> %.0f (simulated behavior differs)\n",
+				d.BaseCycles, d.CurCycles)
+		}
+	}
+	fmt.Fprintf(&sb, "gate tolerance: +%.0f%% ns/op\n", tolerance*100)
+	return sb.String()
+}

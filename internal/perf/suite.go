@@ -1,0 +1,82 @@
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// GateBenchmark is the entry the CI regression gate protects: the full
+// small-scale Figure 5 sweep, mirroring BenchmarkFigure5Sweep in
+// internal/harness. One op = every workload x every Figure 5 system x
+// every small thread count.
+const GateBenchmark = "Figure5Sweep"
+
+// SuiteOptions mirrors the harness test configuration: small enough for
+// CI, big enough to exercise every system's hot paths.
+func SuiteOptions() harness.Options {
+	opt := harness.DefaultOptions()
+	opt.Params.MemBytes = 1 << 24
+	opt.OTableRows = 1 << 13
+	return opt
+}
+
+// Suite returns the benchmark suite: the gated full sweep, one
+// workload-x-system cell benchmark per Figure 5 pair (at the largest
+// small-scale thread count), and the engine handoff microbenchmark.
+func Suite() []Bench {
+	opt := SuiteOptions()
+	scale := harness.ScaleSmall
+	threadCounts := harness.ThreadCounts(scale)
+	maxThreads := threadCounts[len(threadCounts)-1]
+
+	benches := []Bench{{
+		Name: GateBenchmark,
+		Op: func() uint64 {
+			var cycles uint64
+			for _, f := range harness.Benchmarks(scale) {
+				for _, sys := range harness.Figure5Systems {
+					for _, threads := range threadCounts {
+						cycles += runCell(sys, f, threads, opt)
+					}
+				}
+			}
+			return cycles
+		},
+	}}
+
+	for _, f := range harness.Benchmarks(scale) {
+		for _, sys := range harness.Figure5Systems {
+			f, sys := f, sys
+			benches = append(benches, Bench{
+				Name: fmt.Sprintf("fig5/%s/%s/t%d", f.Name, sys, maxThreads),
+				Op:   func() uint64 { return runCell(sys, f, maxThreads, opt) },
+			})
+		}
+	}
+
+	benches = append(benches, Bench{
+		Name: "engine/handoff/t2",
+		Op: func() uint64 {
+			const steps = 200_000
+			e := sim.New(sim.Config{Procs: 2, MaxSteps: 1 << 62})
+			body := func(p *sim.Proc) {
+				for i := 0; i < steps; i++ {
+					p.Elapse(1)
+				}
+			}
+			e.Run([]func(*sim.Proc){body, body})
+			return e.Now()
+		},
+	})
+	return benches
+}
+
+func runCell(sys harness.SystemKind, f harness.WorkloadFactory, threads int, opt harness.Options) uint64 {
+	res := harness.Run(sys, f.New(), threads, opt)
+	if res.Err != nil {
+		panic(fmt.Sprintf("perf: %s/%s/%d failed validation: %v", f.Name, sys, threads, res.Err))
+	}
+	return res.Cycles
+}

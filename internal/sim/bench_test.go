@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkElapseSingleProc measures the engine's fast path (no handoff).
 func BenchmarkElapseSingleProc(b *testing.B) {
@@ -24,6 +27,70 @@ func BenchmarkElapseTwoProcs(b *testing.B) {
 	b.ResetTimer()
 	e.Run([]func(*Proc){body, body})
 }
+
+// BenchmarkElapseFastPath measures run-ahead Elapse calls that never
+// cross the horizon: many procs exist, but one runs far behind the rest,
+// so every call stays inline (no goroutine handoff).
+func BenchmarkElapseFastPath(b *testing.B) {
+	e := New(Config{Procs: 4, MaxSteps: 1 << 62})
+	parked := func(p *Proc) {
+		p.Elapse(1 << 40) // park far in the future
+	}
+	e.Run([]func(*Proc){
+		func(p *Proc) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Elapse(1)
+			}
+			b.StopTimer()
+			p.Elapse(1 << 41) // let the parked procs drain
+		},
+		parked, parked, parked,
+	})
+}
+
+// BenchmarkElapseContended measures the worst case for the scheduler: all
+// procs advance in lockstep, so every Elapse crosses the horizon and pays
+// a heap push/pop plus a goroutine handoff.
+func BenchmarkElapseContended(b *testing.B) {
+	for _, procs := range []int{2, 8, 32} {
+		b.Run(benchName(procs), func(b *testing.B) {
+			e := New(Config{Procs: procs, MaxSteps: 1 << 62})
+			ws := make([]func(*Proc), procs)
+			for i := range ws {
+				ws[i] = func(p *Proc) {
+					for n := 0; n < b.N; n++ {
+						p.Elapse(1)
+					}
+				}
+			}
+			b.ResetTimer()
+			e.Run(ws)
+		})
+	}
+}
+
+// BenchmarkElapseReference is the same contended workload on the retained
+// reference scheduler, for before/after comparison.
+func BenchmarkElapseReference(b *testing.B) {
+	for _, procs := range []int{2, 8} {
+		b.Run(benchName(procs), func(b *testing.B) {
+			e := New(Config{Procs: procs, MaxSteps: 1 << 62, Reference: true})
+			ws := make([]func(*Proc), procs)
+			for i := range ws {
+				ws[i] = func(p *Proc) {
+					for n := 0; n < b.N; n++ {
+						p.Elapse(1)
+					}
+				}
+			}
+			b.ResetTimer()
+			e.Run(ws)
+		})
+	}
+}
+
+func benchName(procs int) string { return fmt.Sprintf("procs=%d", procs) }
 
 func BenchmarkRandUint64(b *testing.B) {
 	r := NewRand(1)

@@ -1,0 +1,87 @@
+package sim
+
+// The ready heap: an indexed binary min-heap over (clock, id). Processors
+// carry their own heap position (Proc.heapIdx, -1 when absent) so
+// membership checks and removals are O(1)+sift. Keys are immutable while a
+// processor is in the heap — only the executing processor (never in the
+// heap) advances its clock, and Wake bumps a sleeper's clock before
+// pushing — so push and pop are the only operations.
+
+// schedBefore reports whether a precedes b in the engine's total
+// scheduling order.
+func schedBefore(a, b *Proc) bool {
+	return a.now < b.now || (a.now == b.now && a.id < b.id)
+}
+
+// horizon returns the earliest other ready processor — the clock frontier
+// the executing processor may run ahead to — or nil when no other
+// processor is runnable.
+func (e *Engine) horizon() *Proc {
+	if len(e.ready) == 0 {
+		return nil
+	}
+	return e.ready[0]
+}
+
+func (e *Engine) heapPush(p *Proc) {
+	p.heapIdx = len(e.ready)
+	e.ready = append(e.ready, p)
+	e.siftUp(p.heapIdx)
+}
+
+func (e *Engine) heapPop() *Proc {
+	n := len(e.ready)
+	if n == 0 {
+		return nil
+	}
+	top := e.ready[0]
+	last := e.ready[n-1]
+	e.ready[n-1] = nil
+	e.ready = e.ready[:n-1]
+	if n > 1 {
+		e.ready[0] = last
+		last.heapIdx = 0
+		e.siftDown(0)
+	}
+	top.heapIdx = -1
+	return top
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.ready
+	p := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !schedBefore(p, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].heapIdx = i
+		i = parent
+	}
+	h[i] = p
+	p.heapIdx = i
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.ready
+	n := len(h)
+	p := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && schedBefore(h[r], h[child]) {
+			child = r
+		}
+		if !schedBefore(h[child], p) {
+			break
+		}
+		h[i] = h[child]
+		h[i].heapIdx = i
+		i = child
+	}
+	h[i] = p
+	p.heapIdx = i
+}

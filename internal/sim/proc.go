@@ -12,8 +12,11 @@ type Proc struct {
 	state State
 	note  string // diagnostic label shown in deadlock/livelock dumps
 
+	heapIdx  int // position in the engine's ready heap, -1 when absent
+	panicVal any // captured workload panic; written only by this proc's goroutine
+
 	grant chan struct{}
-	yield chan struct{}
+	yield chan struct{} // reference scheduler only
 
 	quantum      uint64
 	nextQuantum  uint64
@@ -55,7 +58,30 @@ func (p *Proc) Elapse(cycles uint64) {
 			}
 		}
 	}
-	p.reschedule()
+	e := p.eng
+	if e.cfg.Reference {
+		p.refYield()
+		return
+	}
+	// Run-ahead fast path: while this processor stays strictly before the
+	// horizon in (clock, id) order it is still the engine's unique next
+	// pick, so it keeps executing inline with zero channel operations.
+	// (The horizon can only have moved earlier through this processor's
+	// own actions — Wake, interrupt hooks — all of which happened above or
+	// on a previous slow path, so the comparison is always current.)
+	if h := e.horizon(); h != nil && schedBefore(h, p) {
+		p.yieldNext()
+		return
+	}
+	// Coarse inline step accounting keeps the livelock watchdog counting
+	// while a lone runnable processor spins below the horizon.
+	p.fastSkips++
+	if p.fastSkips&1023 == 0 {
+		e.steps++
+		if e.steps > e.cfg.MaxSteps {
+			panic("sim: step budget exhausted (livelock?)\n" + e.dump())
+		}
+	}
 }
 
 // Block deschedules the processor until another processor calls Wake. The
@@ -63,13 +89,19 @@ func (p *Proc) Elapse(cycles uint64) {
 // (the waker's Wake advances the sleeper's clock to the wake time).
 func (p *Proc) Block() {
 	p.state = Blocked
-	p.reschedule()
+	if p.eng.cfg.Reference {
+		p.refYield()
+		return
+	}
+	p.yieldNext()
 }
 
 // Wake makes a blocked processor runnable again, advancing its clock to
 // the waker's current time (it cannot resume in the past). Waking a
 // processor that is not blocked is a no-op, so wakeups can race benignly
-// with the sleeper deciding to block.
+// with the sleeper deciding to block. On the fast path the woken processor
+// enters the ready heap, which lowers the horizon so the waker yields at
+// its next Elapse if the sleeper now precedes it.
 func (p *Proc) Wake(target *Proc) {
 	if target.state != Blocked {
 		return
@@ -78,33 +110,80 @@ func (p *Proc) Wake(target *Proc) {
 	if target.now < p.now {
 		target.now = p.now
 	}
+	if !p.eng.cfg.Reference {
+		p.eng.heapPush(target)
+	}
 }
 
-// reschedule hands control back to the engine unless this processor would
-// be scheduled next anyway (a pure-performance fast path that preserves
-// the engine's scheduling order exactly: we skip the handoff only when no
-// other ready processor precedes us in the engine's ordering).
-func (p *Proc) reschedule() {
-	if p.state == Ready && !p.otherReadyFirst() {
-		// Yield to the engine occasionally anyway so the livelock
-		// watchdog keeps counting while a lone processor spins.
-		p.fastSkips++
-		if p.fastSkips&1023 != 0 {
+// yieldNext is the scheduling slow path: hand the execution token to the
+// next processor in (clock, id) order, or terminate the run. Called when
+// the executing processor crosses the horizon, blocks, or finishes.
+func (p *Proc) yieldNext() {
+	e := p.eng
+	e.steps++
+	if e.steps > e.cfg.MaxSteps {
+		msg := "sim: step budget exhausted (livelock?)\n" + e.dump()
+		if p.state == Done {
+			// Called from finish's defer: a panic here would escape the
+			// goroutine uncaught, so route the diagnostic through Run.
+			e.termMsg = msg
+			close(e.doneCh)
 			return
 		}
+		panic(msg)
 	}
-	p.yield <- struct{}{}
-	<-p.grant
+	// Latch the departing state now: the moment the token is handed to
+	// next, that processor may Wake this one, writing p.state and p.now
+	// concurrently with anything we still read here.
+	parked := p.state != Done
+	if p.state == Ready {
+		e.heapPush(p)
+	}
+	next := e.heapPop()
+	switch {
+	case next == p:
+		// No other ready processor precedes us after all; keep running.
+		return
+	case next != nil:
+		next.grant <- struct{}{}
+	case e.notDone == 0:
+		close(e.doneCh) // every workload returned
+		return
+	default:
+		// No runnable processor but unfinished ones remain: deadlock.
+		e.termMsg = "sim: deadlock — all unfinished processors are blocked\n" + e.dump()
+		close(e.doneCh)
+		// fall through to park this (blocked) processor forever
+	}
+	if parked {
+		<-p.grant
+	}
 }
 
-func (p *Proc) otherReadyFirst() bool {
-	for _, q := range p.eng.procs {
-		if q == p || q.state != Ready {
-			continue
-		}
-		if q.now < p.now || (q.now == p.now && q.id < p.id) {
-			return true
-		}
+// finish runs deferred on the workload goroutine. It captures a workload
+// panic into the per-processor slot (each goroutine writes only its own,
+// so capture is race-free), marks the processor Done, and either
+// terminates the run — the first panicking processor in schedule order
+// wins, deterministically, because it holds the execution token and no
+// other processor resumes afterwards — or hands the token onward.
+func (p *Proc) finish() {
+	e := p.eng
+	if r := recover(); r != nil {
+		p.panicVal = r
 	}
-	return false
+	p.state = Done
+	e.notDone--
+	if p.panicVal != nil {
+		e.panicked = p.panicVal
+		close(e.doneCh)
+		return
+	}
+	p.yieldNext()
+}
+
+// refYield is the reference scheduler's unconditional handoff to the
+// engine goroutine.
+func (p *Proc) refYield() {
+	p.yield <- struct{}{}
+	<-p.grant
 }

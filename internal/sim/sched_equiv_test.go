@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// These tests pin the run-ahead fast path (DESIGN.md §12) to the retained
+// reference scheduler (Config.Reference): both must produce exactly the
+// same step sequence — the interleaving of (processor, clock) pairs across
+// every scheduling point — on the same script. The engine serializes
+// execution, so workloads may append to a shared trace without locking.
+
+type step struct {
+	id  int
+	now uint64
+}
+
+func diffTraces(t *testing.T, fast, ref []step, label string) {
+	t.Helper()
+	n := len(fast)
+	if len(ref) < n {
+		n = len(ref)
+	}
+	for i := 0; i < n; i++ {
+		if fast[i] != ref[i] {
+			t.Fatalf("%s: schedules diverge at step %d: fast %+v, reference %+v", label, i, fast[i], ref[i])
+		}
+	}
+	if len(fast) != len(ref) {
+		t.Fatalf("%s: schedule lengths differ: fast %d, reference %d", label, len(fast), len(ref))
+	}
+}
+
+// TestScheduleTraceEquivalenceFixedScript drives a handcrafted script
+// through both schedulers: clock ties (ID tie-break), zero-cycle elapses,
+// a block/wake chain, and quantum-boundary crossings.
+func TestScheduleTraceEquivalenceFixedScript(t *testing.T) {
+	run := func(reference bool) []step {
+		e := New(Config{Procs: 3, Quantum: 64, Reference: reference})
+		var trace []step
+		at := func(p *Proc) { trace = append(trace, step{p.ID(), p.Now()}) }
+		sleeper := e.Proc(2)
+		e.Run([]func(*Proc){
+			func(p *Proc) {
+				at(p)
+				p.Elapse(10) // tie with proc 1 at 10
+				at(p)
+				p.Elapse(0) // zero advance: tie-break must still hold
+				at(p)
+				p.Elapse(100) // crosses the quantum boundary at 64
+				at(p)
+				p.Wake(sleeper)
+				p.Elapse(5)
+				at(p)
+			},
+			func(p *Proc) {
+				at(p)
+				p.Elapse(10)
+				at(p)
+				p.Elapse(10)
+				at(p)
+				p.Elapse(200)
+				at(p)
+			},
+			func(p *Proc) {
+				at(p)
+				p.Elapse(1)
+				at(p)
+				p.Block() // woken by proc 0 at cycle 110
+				at(p)
+				p.Elapse(3)
+				at(p)
+			},
+		})
+		return trace
+	}
+	diffTraces(t, run(false), run(true), "fixed script")
+}
+
+// TestScheduleTraceEquivalenceRandomScripts is the property test: seeded
+// random Elapse/Block/Wake scripts must schedule identically under both
+// implementations. Blocking is only chosen when another processor is
+// neither done nor blocked (so someone can deliver the wakeup), and every
+// finishing processor drains the sleeper list; both schedulers see the
+// same shared state exactly because the schedules match — any divergence
+// shows up as a trace mismatch.
+func TestScheduleTraceEquivalenceRandomScripts(t *testing.T) {
+	for _, procs := range []int{2, 3, 5, 8} {
+		for _, quantum := range []uint64{0, 97} {
+			for seed := uint64(1); seed <= 5; seed++ {
+				label := fmt.Sprintf("procs=%d quantum=%d seed=%d", procs, quantum, seed)
+				fast := runRandomScript(false, procs, quantum, seed)
+				ref := runRandomScript(true, procs, quantum, seed)
+				diffTraces(t, fast, ref, label)
+				if len(fast) != procs*scriptOps {
+					t.Fatalf("%s: trace has %d steps, want %d", label, len(fast), procs*scriptOps)
+				}
+			}
+		}
+	}
+}
+
+const scriptOps = 300
+
+func runRandomScript(reference bool, procs int, quantum, seed uint64) []step {
+	e := New(Config{Procs: procs, Quantum: quantum, Reference: reference})
+	var trace []step
+	var sleepers []*Proc
+	active := procs // processors neither Done nor Blocked
+	ws := make([]func(*Proc), procs)
+	for i := 0; i < procs; i++ {
+		r := NewRand(seed + uint64(i)*1_000_003)
+		ws[i] = func(p *Proc) {
+			for op := 0; op < scriptOps; op++ {
+				trace = append(trace, step{p.ID(), p.Now()})
+				switch k := r.Intn(10); {
+				case k < 6:
+					p.Elapse(uint64(r.Intn(50))) // includes 0: exercises ID tie-breaks
+				case k < 8:
+					if len(sleepers) > 0 {
+						idx := r.Intn(len(sleepers))
+						target := sleepers[idx]
+						sleepers = append(sleepers[:idx], sleepers[idx+1:]...)
+						active++
+						p.Wake(target)
+						p.Elapse(1)
+					} else {
+						p.Elapse(3)
+					}
+				default:
+					if active > 1 {
+						active--
+						sleepers = append(sleepers, p)
+						p.Block()
+						// A waker removed us from sleepers and restored
+						// the active count before calling Wake.
+					} else {
+						p.Elapse(7)
+					}
+				}
+			}
+			// Strand no one: the finishing processor wakes every sleeper.
+			active--
+			for len(sleepers) > 0 {
+				target := sleepers[0]
+				sleepers = sleepers[1:]
+				active++
+				p.Wake(target)
+			}
+		}
+	}
+	e.Run(ws)
+	return trace
+}
+
+// TestReferenceSchedulerMatchesSimulatedResults double-checks the cheap
+// invariants beyond the step trace: final clocks and step-visible state
+// agree between the two schedulers.
+func TestReferenceSchedulerFinalClocksMatch(t *testing.T) {
+	run := func(reference bool) []uint64 {
+		e := New(Config{Procs: 4, Quantum: 50, Reference: reference})
+		ws := make([]func(*Proc), 4)
+		for i := range ws {
+			r := NewRand(uint64(i) + 42)
+			ws[i] = func(p *Proc) {
+				for n := 0; n < 500; n++ {
+					p.Elapse(uint64(1 + r.Intn(9)))
+				}
+			}
+		}
+		e.Run(ws)
+		clocks := make([]uint64, 4)
+		for i, p := range e.Procs() {
+			clocks[i] = p.Now()
+		}
+		return clocks
+	}
+	fast, ref := run(false), run(true)
+	for i := range fast {
+		if fast[i] != ref[i] {
+			t.Fatalf("proc %d final clock: fast %d, reference %d", i, fast[i], ref[i])
+		}
+	}
+}
+
+// TestTwoPanickingWorkloadsFirstWins is the regression test for the panic
+// capture rewrite: with two panicking workloads the engine must
+// deterministically re-raise the panic of whichever processor panics
+// first in schedule order, on both schedulers. Proc 1 reaches its panic
+// at cycle 5 while proc 0 is still run-ahead at cycle 10, so "B" wins.
+func TestTwoPanickingWorkloadsFirstWins(t *testing.T) {
+	for _, reference := range []bool{false, true} {
+		name := "fast"
+		if reference {
+			name = "reference"
+		}
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != "B" {
+					t.Fatalf("recovered %v, want the first-scheduled panic \"B\"", r)
+				}
+			}()
+			e := New(Config{Procs: 2, Reference: reference})
+			e.Run([]func(*Proc){
+				func(p *Proc) { p.Elapse(10); panic("A") },
+				func(p *Proc) { p.Elapse(5); panic("B") },
+			})
+		})
+	}
+}
+
+// TestPanicBeforeFirstElapse covers a workload that panics without ever
+// reaching a scheduling point.
+func TestPanicBeforeFirstElapse(t *testing.T) {
+	for _, reference := range []bool{false, true} {
+		func() {
+			defer func() {
+				if r := recover(); r != "immediately" {
+					t.Fatalf("reference=%v: recovered %v", reference, r)
+				}
+			}()
+			e := New(Config{Procs: 2, Reference: reference})
+			e.Run([]func(*Proc){
+				func(p *Proc) { panic("immediately") },
+				func(p *Proc) { p.Elapse(1) },
+			})
+		}()
+	}
+}
+
+// TestReferenceSchedulerDeadlockAndLivelock pins the diagnostic panics on
+// the reference path too.
+func TestReferenceSchedulerDeadlockAndLivelock(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected deadlock panic")
+			}
+		}()
+		e := New(Config{Procs: 2, Reference: true})
+		e.Run([]func(*Proc){func(p *Proc) { p.Block() }, func(p *Proc) { p.Block() }})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected livelock panic")
+			}
+		}()
+		e := New(Config{Procs: 1, MaxSteps: 100, Reference: true})
+		e.Run([]func(*Proc){func(p *Proc) {
+			for {
+				p.Elapse(1)
+			}
+		}})
+	}()
+}
+
+// TestLoneSpinnerTripsWatchdogOnFastPath: a single runnable processor
+// never crosses the horizon, so the watchdog must still count (coarsely)
+// on the inline path.
+func TestLoneSpinnerTripsWatchdogOnFastPath(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected livelock panic from the inline watchdog")
+		}
+	}()
+	e := New(Config{Procs: 1, MaxSteps: 100})
+	e.Run([]func(*Proc){func(p *Proc) {
+		for {
+			p.Elapse(1)
+		}
+	}})
+}
+
+// TestReadyHeapOrdering unit-tests the indexed heap directly.
+func TestReadyHeapOrdering(t *testing.T) {
+	e := New(Config{Procs: 7})
+	clocks := []uint64{9, 3, 3, 12, 0, 7, 3}
+	for i, p := range e.procs {
+		p.now = clocks[i]
+		p.heapIdx = -1
+	}
+	e.ready = e.ready[:0]
+	for _, p := range e.procs {
+		e.heapPush(p)
+	}
+	for i, p := range e.ready {
+		if p.heapIdx != i {
+			t.Fatalf("heap index out of sync at %d: %d", i, p.heapIdx)
+		}
+	}
+	wantOrder := []int{4, 1, 2, 6, 5, 0, 3} // by (clock, id)
+	for _, want := range wantOrder {
+		got := e.heapPop()
+		if got == nil || got.id != want {
+			t.Fatalf("heapPop = %v, want proc %d", got, want)
+		}
+		if got.heapIdx != -1 {
+			t.Fatalf("popped proc %d keeps heap index %d", got.id, got.heapIdx)
+		}
+	}
+	if e.heapPop() != nil {
+		t.Fatal("heap should be empty")
+	}
+}

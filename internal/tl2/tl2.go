@@ -45,10 +45,10 @@ func DefaultConfig() Config {
 }
 
 type stripe struct {
-	locked  bool
-	owner   int // processor ID, valid when locked
 	version uint64
-	writer  int // processor that last committed the stripe, -1 if none
+	owner   int // processor ID, valid when locked
+	writer  int // 1 + ID of the processor that last committed, 0 if none
+	locked  bool
 }
 
 // System implements tm.System.
@@ -95,9 +95,6 @@ func New(m *machine.Machine, cfg Config) *System {
 		stripes:   make([]stripe, cfg.Stripes),
 		lockBase:  m.Mem.Sbrk(uint64(cfg.Stripes) * mem.LineBytes),
 		mask:      uint64(cfg.Stripes - 1),
-	}
-	for i := range s.stripes {
-		s.stripes[i].writer = -1
 	}
 	return s
 }
@@ -343,7 +340,7 @@ func (e *exec) commit() bool {
 		st := &e.s.stripes[si]
 		st.version = wv
 		st.locked = false
-		st.writer = e.p.ID()
+		st.writer = e.p.ID() + 1
 		e.writeStripe(si)
 	}
 	e.p.Elapse(e.s.cfg.CommitCycles)
@@ -355,7 +352,7 @@ func (e *exec) commit() bool {
 // transaction whose version bump invalidated us; -1 when no one has
 // committed the stripe yet).
 func (e *exec) recordStripeConflict(st *stripe, addr uint64, hasAddr bool) {
-	agg := st.writer
+	agg := st.writer - 1
 	if st.locked {
 		agg = st.owner
 	}
