@@ -31,6 +31,8 @@ type config struct {
 	traceThreads  int
 	traceLimit    int
 
+	litmusOut string
+
 	contentionOut    string
 	contentionTopK   int
 	timeseriesWindow uint64
@@ -45,7 +47,7 @@ type config struct {
 // knownExperiments are the -experiment values main dispatches on.
 var knownExperiments = []string{
 	"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended",
-	"footprints", "policies", "all",
+	"footprints", "policies", "litmus", "all",
 }
 
 // parseConfig parses argv (without the program name), records which
@@ -55,7 +57,7 @@ func parseConfig(args []string, errOut io.Writer) (*config, error) {
 	cfg := &config{}
 	fs := flag.NewFlagSet("tmsim", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	fs.StringVar(&cfg.experiment, "experiment", "all", "fig5 | fig6 | fig7 | fig8 | ablate | extended | footprints | policies | params | all")
+	fs.StringVar(&cfg.experiment, "experiment", "all", "fig5 | fig6 | fig7 | fig8 | ablate | extended | footprints | policies | litmus | params | all")
 	fs.StringVar(&cfg.scaleName, "scale", "full", "small | full")
 	fs.StringVar(&cfg.policy, "policy", "exp", "contention-management policy: exp | linear | karma | serialize")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "machine RNG seed")
@@ -70,6 +72,7 @@ func parseConfig(args []string, errOut io.Writer) (*config, error) {
 	fs.StringVar(&cfg.traceSystem, "trace-system", "ufo-hybrid", "TM system for the traced cell")
 	fs.IntVar(&cfg.traceThreads, "trace-threads", 4, "thread count for the traced cell")
 	fs.IntVar(&cfg.traceLimit, "trace-limit", 1<<20, "max trace events retained (ring buffer)")
+	fs.StringVar(&cfg.litmusOut, "litmus-out", "", "also write the litmus conformance report as JSON to this file")
 	fs.StringVar(&cfg.contentionOut, "contention-out", "", "write the conflict-attribution (contention) report to this file")
 	fs.IntVar(&cfg.contentionTopK, "contention-topk", contention.DefaultTopK, "hot cache lines kept per cell in the contention report")
 	fs.Uint64Var(&cfg.timeseriesWindow, "timeseries-window", 100_000, "contention time-series window width in simulated cycles")
@@ -140,6 +143,10 @@ func (cfg *config) validate() error {
 	case "json", "html", "text":
 	default:
 		return fmt.Errorf("unknown report format %q (want json, html, or text)", cfg.reportFormat)
+	}
+
+	if cfg.litmusOut != "" && cfg.experiment != "litmus" && cfg.experiment != "all" {
+		return fmt.Errorf("-litmus-out requires -experiment litmus (or all)")
 	}
 
 	// Trace flags only mean something with a trace destination.

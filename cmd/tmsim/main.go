@@ -8,6 +8,7 @@
 //	tmsim -experiment ablate # design-choice ablations (UFO mitigations, L1, otable, quantum)
 //	tmsim -experiment extended # extension workloads beyond the paper (ssca2, intruder, labyrinth)
 //	tmsim -experiment policies # contention-management policy ablation
+//	tmsim -experiment litmus # strong-atomicity litmus conformance matrix
 //	tmsim -experiment params # Table 4: simulation parameters
 //	tmsim -experiment all    # everything above
 //
@@ -31,6 +32,10 @@
 //	    also writes every sweep cell's metrics snapshot plus the
 //	    deterministic aggregate as JSON (byte-identical for every
 //	    -parallel value).
+//	tmsim -experiment litmus -litmus-out litmus.json
+//	    also writes the litmus conformance report (per-program,
+//	    per-system verdicts) as deterministic JSON. Non-empty failures
+//	    exit 1, so the experiment doubles as a CI gate.
 //	tmsim -experiment fig5 -contention-out fig5-cont.html -report html
 //	    also records conflict attribution — who-aborted-whom edges with
 //	    cache-line addresses and abort reasons — and writes per-cell
@@ -63,6 +68,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/conformance/litmus"
 	"repro/internal/harness"
 	"repro/internal/machine"
 )
@@ -184,12 +190,30 @@ func main() {
 			rows, err := runner.PolicySweep(opt, scale)
 			harness.PrintPolicySweep(os.Stdout, rows)
 			fail(err)
+		case "litmus":
+			lc := litmus.FullConfig()
+			if scale == harness.ScaleSmall {
+				lc = litmus.SmallConfig()
+			}
+			lc.Workers = cfg.parallel
+			rep := litmus.Run(lc)
+			rep.WriteText(os.Stdout)
+			if cfg.litmusOut != "" {
+				f, err := os.Create(cfg.litmusOut)
+				fail(err)
+				fail(rep.WriteJSON(f))
+				fail(f.Close())
+				fmt.Printf("  [litmus report written to %s]\n", cfg.litmusOut)
+			}
+			if n := len(rep.Failures); n > 0 {
+				fail(fmt.Errorf("litmus: %d conformance failure(s)", n))
+			}
 		}
 		fmt.Printf("  [%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	if cfg.experiment == "all" {
-		for _, name := range []string{"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended", "footprints", "policies"} {
+		for _, name := range []string{"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended", "footprints", "policies", "litmus"} {
 			run(name)
 		}
 	} else {

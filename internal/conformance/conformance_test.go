@@ -1,51 +1,14 @@
-// Package conformance runs identical transactional workloads across every
-// TM system in the repository and checks that they all preserve the same
-// invariants — the property that lets the harness compare them fairly.
-//
-// Paper: §2 (the atomicity semantics every system must agree on).
 package conformance
 
 import (
 	"fmt"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/hytm"
 	"repro/internal/machine"
-	"repro/internal/phtm"
 	"repro/internal/seq"
 	"repro/internal/stamp"
-	"repro/internal/tl2"
 	"repro/internal/tm"
-	"repro/internal/unbounded"
-	"repro/internal/ustm"
 )
-
-// makeSystem builds each named TM system over a fresh machine.
-func makeSystem(name string, m *machine.Machine) tm.System {
-	cfg := ustm.DefaultConfig()
-	cfg.OTableRows = 1 << 12
-	switch name {
-	case "ufo-hybrid":
-		return core.New(m, cfg, core.DefaultPolicy())
-	case "hytm":
-		return hytm.New(m, cfg)
-	case "phtm":
-		return phtm.New(m, cfg)
-	case "ustm+ufo":
-		return ustm.New(m, cfg)
-	case "ustm":
-		cfg.StrongAtomicity = false
-		return ustm.New(m, cfg)
-	case "tl2":
-		return tl2.New(m, tl2.DefaultConfig())
-	case "unbounded-htm":
-		return unbounded.New(m)
-	case "global-lock":
-		return seq.New(m, seq.GlobalLock)
-	}
-	panic("unknown system " + name)
-}
 
 // concurrentSystems are the systems meaningful with >1 processor.
 var concurrentSystems = []string{
@@ -66,7 +29,7 @@ func TestCounterInvariantAllSystems(t *testing.T) {
 		for _, procs := range []int{1, 2, 4} {
 			t.Run(fmt.Sprintf("%s/p%d", name, procs), func(t *testing.T) {
 				m := newMachine(procs, 0)
-				sys := makeSystem(name, m)
+				sys := NewSystem(name, m)
 				const perThread = 30
 				var ws []func(*machine.Proc)
 				for i := 0; i < procs; i++ {
@@ -101,7 +64,7 @@ func TestBankTransferInvariantAllSystems(t *testing.T) {
 	for _, name := range concurrentSystems {
 		t.Run(name, func(t *testing.T) {
 			m := newMachine(4, 0)
-			sys := makeSystem(name, m)
+			sys := NewSystem(name, m)
 			base := m.Mem.Sbrk(accounts * 64)
 			for i := uint64(0); i < accounts; i++ {
 				m.Mem.Write64(base+i*64, initial)
@@ -151,7 +114,7 @@ func TestLargeTransactionsAllSystems(t *testing.T) {
 			params.L1Ways = 2
 			params.MaxSteps = 30_000_000
 			m := machine.New(params)
-			sys := makeSystem(name, m)
+			sys := NewSystem(name, m)
 			base := m.Mem.Sbrk(64 * 64)
 			var ws []func(*machine.Proc)
 			for i := 0; i < 2; i++ {
@@ -181,7 +144,7 @@ func TestTimerInterruptsDoNotBreakInvariants(t *testing.T) {
 	for _, name := range []string{"ufo-hybrid", "unbounded-htm", "phtm", "hytm"} {
 		t.Run(name, func(t *testing.T) {
 			m := newMachine(2, 3000) // aggressive quantum: many interrupts
-			sys := makeSystem(name, m)
+			sys := NewSystem(name, m)
 			var ws []func(*machine.Proc)
 			for i := 0; i < 2; i++ {
 				ex := sys.Exec(m.Proc(i))
@@ -208,7 +171,7 @@ func TestTimerInterruptsDoNotBreakInvariants(t *testing.T) {
 func TestDeterministicCyclesAcrossRuns(t *testing.T) {
 	run := func() uint64 {
 		m := newMachine(4, 0)
-		sys := makeSystem("ufo-hybrid", m)
+		sys := NewSystem("ufo-hybrid", m)
 		var ws []func(*machine.Proc)
 		for i := 0; i < 4; i++ {
 			ex := sys.Exec(m.Proc(i))
@@ -257,7 +220,7 @@ func TestOnCommitRunsExactlyOnceAllSystems(t *testing.T) {
 	for _, name := range concurrentSystems {
 		t.Run(name, func(t *testing.T) {
 			m := newMachine(1, 0)
-			sys := makeSystem(name, m)
+			sys := NewSystem(name, m)
 			ex := sys.Exec(m.Proc(0))
 			effects := 0
 			m.Run([]func(*machine.Proc){func(p *machine.Proc) {
@@ -290,7 +253,7 @@ func TestOnCommitRunsExactlyOnceAllSystems(t *testing.T) {
 
 func TestOnCommitSeesCommittedState(t *testing.T) {
 	m := newMachine(1, 0)
-	sys := makeSystem("ufo-hybrid", m)
+	sys := NewSystem("ufo-hybrid", m)
 	ex := sys.Exec(m.Proc(0))
 	var observed uint64
 	m.Run([]func(*machine.Proc){func(p *machine.Proc) {
@@ -323,7 +286,7 @@ func TestNestedTransactionsAllSystems(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			m := newMachine(1, 0)
-			sys := makeSystem(name, m)
+			sys := NewSystem(name, m)
 			ex := sys.Exec(m.Proc(0))
 			var innerCommitted, innerAborted bool
 			m.Run([]func(*machine.Proc){func(p *machine.Proc) {
@@ -377,7 +340,7 @@ func TestExtendedWorkloadsAcrossKeySystems(t *testing.T) {
 		for _, sysName := range []string{"ufo-hybrid", "tl2", "global-lock"} {
 			t.Run(wlName+"/"+sysName, func(t *testing.T) {
 				m := newMachine(3, 0)
-				sys := makeSystem(sysName, m)
+				sys := NewSystem(sysName, m)
 				wl := factory()
 				wl.Init(m, 3)
 				bodies := make([]func(*machine.Proc), 3)

@@ -38,9 +38,7 @@ func TestFuzzSerializabilityAllSystems(t *testing.T) {
 					params.MaxSteps = 30_000_000
 					params.Seed = seed
 					m := machine.New(params)
-					opt := harness.DefaultOptions()
-					opt.OTableRows = 1 << 12
-					rec := tmtest.NewRecorder(harness.Build(kind, m, opt))
+					rec := tmtest.NewRecorder(NewSystem(string(kind), m))
 					base := m.Mem.Sbrk(addrs * 64)
 					var ws []func(*machine.Proc)
 					for i := 0; i < procs; i++ {

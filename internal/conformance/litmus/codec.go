@@ -1,0 +1,169 @@
+package litmus
+
+// The fuzz codec: a byte encoding of litmus programs for the native
+// go-fuzz target. Decoding is total — every byte string maps to a valid
+// program via clamping, with zeros supplied when the input runs out — so
+// the fuzzer's mutations always land on executable programs.
+//
+// Layout: [threads-2][vars-1] then per thread a shape byte (tx op count,
+// non-transactional op count, transaction position) followed by one byte
+// per operation (kind + 3*variable). Write values are not encoded; they
+// are assigned positionally, like the enumerator's, so distinct writes
+// stay distinguishable in outcome states.
+
+// codecMaxOps bounds ops per transaction and non-transactional ops per
+// thread — large enough to express every curated program.
+const codecMaxOps = 3
+
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+// next returns the next byte, or zero once the input is exhausted.
+func (r *byteReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// DecodeProgram builds a valid program from arbitrary bytes.
+func DecodeProgram(data []byte) *Program {
+	r := &byteReader{data: data}
+	threads := 2 + int(r.next())%2
+	vars := 1 + int(r.next())%3
+	p := &Program{Name: "fuzz", Vars: vars}
+	decodeOp := func(pos int) Op {
+		b := int(r.next())
+		v := (b / 3) % vars
+		switch b % 3 {
+		case 0:
+			return R(v)
+		case 1:
+			return W(v, 0) // value assigned below, positionally
+		default:
+			return F()
+		}
+	}
+	for ti := 0; ti < threads; ti++ {
+		s := int(r.next())
+		txOps := s % (codecMaxOps + 1)
+		ntOps := (s >> 2) % (codecMaxOps + 1)
+		if txOps == 0 && ntOps == 0 {
+			ntOps = 1
+		}
+		txPos := (s >> 4) % (ntOps + 1)
+
+		var txBody []Op
+		for i := 0; i < txOps; i++ {
+			txBody = append(txBody, decodeOp(i))
+		}
+		var ntSeq []Op
+		for i := 0; i < ntOps; i++ {
+			ntSeq = append(ntSeq, decodeOp(txOps+i))
+		}
+
+		var steps []Step
+		for _, op := range ntSeq[:txPos] {
+			steps = append(steps, NT(op))
+		}
+		if txOps > 0 {
+			steps = append(steps, Atomic(txBody...))
+		}
+		for _, op := range ntSeq[txPos:] {
+			steps = append(steps, NT(op))
+		}
+
+		// Positional write values, as in the enumerator.
+		pos := 0
+		for si := range steps {
+			for oi := range steps[si].Ops {
+				if steps[si].Ops[oi].Kind == OpWrite {
+					steps[si].Ops[oi].Val = uint64(ti*8 + pos + 1)
+				}
+				pos++
+			}
+		}
+		p.Threads = append(p.Threads, Thread{Name: threadName(ti), Steps: steps})
+	}
+	p.Doc = "fuzz-decoded shape " + shapeDoc(p)
+	return p
+}
+
+// DecodeSeed folds the remaining bytes (and the whole input) into a
+// schedule-sampling seed, so mutating the tail explores new orders even
+// with an unchanged program.
+func DecodeSeed(data []byte) uint64 {
+	var seed uint64 = 0x9e3779b97f4a7c15
+	for _, b := range data {
+		seed = seed*1099511628211 + uint64(b)
+	}
+	return seed
+}
+
+// EncodeProgram is the decoder's inverse for corpus seeding. It supports
+// programs in codec range (2-3 threads, 1-3 vars, at most one
+// transaction of up to codecMaxOps ops per thread, up to codecMaxOps
+// non-transactional ops); it panics on anything else. Write values do
+// not round-trip — decoding re-assigns them positionally — which is fine
+// for seeds: the fuzzer cares about shapes, not constants.
+func EncodeProgram(p *Program) []byte {
+	if len(p.Threads) < 2 || len(p.Threads) > 3 || p.Vars > 3 {
+		panic("litmus: program outside codec range")
+	}
+	out := []byte{byte(len(p.Threads) - 2), byte(p.Vars - 1)}
+	encodeOp := func(op Op) byte {
+		switch op.Kind {
+		case OpRead:
+			return byte(3 * op.Var)
+		case OpWrite:
+			return byte(1 + 3*op.Var)
+		default:
+			return 2
+		}
+	}
+	for _, th := range p.Threads {
+		var txBody, ntSeq []Op
+		txPos, sawTx := 0, false
+		for _, st := range th.Steps {
+			if st.Tx {
+				if sawTx {
+					panic("litmus: codec supports one transaction per thread")
+				}
+				sawTx = true
+				txPos = len(ntSeq)
+				txBody = st.Ops
+			} else {
+				ntSeq = append(ntSeq, st.Ops[0])
+			}
+		}
+		if len(txBody) > codecMaxOps || len(ntSeq) > codecMaxOps {
+			panic("litmus: program outside codec range")
+		}
+		out = append(out, byte(len(txBody)|len(ntSeq)<<2|txPos<<4))
+		for _, op := range txBody {
+			out = append(out, encodeOp(op))
+		}
+		for _, op := range ntSeq {
+			out = append(out, encodeOp(op))
+		}
+	}
+	return out
+}
+
+func threadName(ti int) string { return string(rune('a' + ti)) }
+
+func shapeDoc(p *Program) string {
+	keys := make([]string, len(p.Threads))
+	for i, th := range p.Threads {
+		keys[i] = shapeKey(th.Steps)
+	}
+	s := keys[0]
+	for _, k := range keys[1:] {
+		s += " | " + k
+	}
+	return s
+}

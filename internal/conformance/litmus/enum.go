@@ -1,0 +1,294 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// The auto-enumerator: systematically generates every small litmus shape
+// — threads holding at most one transaction of up to MaxTxOps operations
+// plus up to MaxNTOps non-transactional operations, over a small shared
+// variable set — so the curated suite's hand-picked anomalies are backed
+// by a sweep that cannot miss a shape nobody thought of. Thread-order
+// duplicates are canonicalized away, uninteresting programs (no sharing,
+// no write, no read, or no transaction) are filtered, and when the space
+// still exceeds MaxPrograms a seeded deterministic sample is taken and
+// the drop is reported — never silent.
+
+// EnumConfig bounds one enumeration.
+type EnumConfig struct {
+	// Threads is the number of threads per program (2 or 3).
+	Threads int
+	// Vars is the number of shared variables ops range over.
+	Vars int
+	// MaxTxOps bounds the single transaction's body (0 = no transaction
+	// allowed in a thread shape).
+	MaxTxOps int
+	// MaxNTOps bounds the non-transactional operations per thread.
+	MaxNTOps int
+	// MaxPrograms caps how many programs are kept; 0 keeps everything.
+	MaxPrograms int
+	// Seed drives the deterministic sample when the cap binds.
+	Seed uint64
+}
+
+// EnumResult is the generated program set plus accounting of what the
+// cap dropped.
+type EnumResult struct {
+	Programs []*Program
+	// Total is the number of distinct interesting programs enumerated
+	// before sampling.
+	Total int
+	// Dropped is Total - len(Programs).
+	Dropped int
+}
+
+// Enumerate generates cfg's program space.
+func Enumerate(cfg EnumConfig) EnumResult {
+	shapes := enumThreadShapes(cfg)
+	// Odometer over one shape choice per thread.
+	idx := make([]int, cfg.Threads)
+	var programs []*Program
+	seen := map[string]bool{}
+	for {
+		threads := make([]threadShape, cfg.Threads)
+		for i, s := range idx {
+			threads[i] = shapes[s]
+		}
+		if interesting(threads) {
+			key := canonicalKey(threads)
+			if !seen[key] {
+				seen[key] = true
+				programs = append(programs, buildProgram(cfg, threads, len(programs)))
+			}
+		}
+		// Advance the odometer.
+		pos := cfg.Threads - 1
+		for pos >= 0 {
+			idx[pos]++
+			if idx[pos] < len(shapes) {
+				break
+			}
+			idx[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			break
+		}
+	}
+	res := EnumResult{Programs: programs, Total: len(programs)}
+	if cfg.MaxPrograms > 0 && len(programs) > cfg.MaxPrograms {
+		res.Programs = samplePrograms(programs, cfg.MaxPrograms, cfg.Seed)
+		res.Dropped = res.Total - len(res.Programs)
+	}
+	return res
+}
+
+// threadShape is one thread's structure before variables get addresses.
+type threadShape struct {
+	steps []Step
+	key   string
+}
+
+// enumThreadShapes lists every distinct thread shape under cfg: an
+// optional transaction of 1..MaxTxOps operations placed at any position
+// among 0..MaxNTOps non-transactional operations (or no transaction and
+// 1..MaxNTOps non-transactional operations).
+func enumThreadShapes(cfg EnumConfig) []threadShape {
+	ops := enumOps(cfg.Vars)
+	var shapes []threadShape
+	add := func(steps []Step) {
+		shapes = append(shapes, threadShape{steps: steps, key: shapeKey(steps)})
+	}
+	// Non-transactional op sequences, by length.
+	ntSeqs := make([][][]Op, cfg.MaxNTOps+1)
+	ntSeqs[0] = [][]Op{{}}
+	for n := 1; n <= cfg.MaxNTOps; n++ {
+		for _, prefix := range ntSeqs[n-1] {
+			for _, op := range ops {
+				ntSeqs[n] = append(ntSeqs[n], append(append([]Op(nil), prefix...), op))
+			}
+		}
+	}
+	// Transaction bodies, 1..MaxTxOps ops.
+	var txBodies [][]Op
+	cur := [][]Op{{}}
+	for n := 1; n <= cfg.MaxTxOps; n++ {
+		var next [][]Op
+		for _, prefix := range cur {
+			for _, op := range ops {
+				body := append(append([]Op(nil), prefix...), op)
+				next = append(next, body)
+				txBodies = append(txBodies, body)
+			}
+		}
+		cur = next
+	}
+	// Pure non-transactional threads.
+	for n := 1; n <= cfg.MaxNTOps; n++ {
+		for _, seq := range ntSeqs[n] {
+			steps := make([]Step, 0, n)
+			for _, op := range seq {
+				steps = append(steps, NT(op))
+			}
+			add(steps)
+		}
+	}
+	// One transaction at each position among the NT ops.
+	for _, body := range txBodies {
+		for n := 0; n <= cfg.MaxNTOps; n++ {
+			for _, seq := range ntSeqs[n] {
+				for pos := 0; pos <= n; pos++ {
+					steps := make([]Step, 0, n+1)
+					for _, op := range seq[:pos] {
+						steps = append(steps, NT(op))
+					}
+					steps = append(steps, Atomic(body...))
+					for _, op := range seq[pos:] {
+						steps = append(steps, NT(op))
+					}
+					add(steps)
+				}
+			}
+		}
+	}
+	return shapes
+}
+
+// enumOps lists the op alphabet: read or write of each variable. Write
+// values are placeholders; buildProgram assigns distinct values.
+func enumOps(vars int) []Op {
+	out := make([]Op, 0, vars*2)
+	for v := 0; v < vars; v++ {
+		out = append(out, R(v), W(v, 0))
+	}
+	return out
+}
+
+// interesting filters program skeletons worth running: some variable is
+// touched by two threads, at least one write, at least one read, and at
+// least one transaction (purely non-transactional programs only test
+// the SC machine, which sb-nt in the curated suite already covers).
+func interesting(threads []threadShape) bool {
+	varThreads := map[int]map[int]bool{}
+	writes, reads, txs := 0, 0, 0
+	for ti, th := range threads {
+		for _, st := range th.steps {
+			if st.Tx {
+				txs++
+			}
+			for _, op := range st.Ops {
+				if varThreads[op.Var] == nil {
+					varThreads[op.Var] = map[int]bool{}
+				}
+				varThreads[op.Var][ti] = true
+				switch op.Kind {
+				case OpRead:
+					reads++
+				case OpWrite:
+					writes++
+				}
+			}
+		}
+	}
+	if txs == 0 || writes == 0 || reads == 0 {
+		return false
+	}
+	for _, ts := range varThreads {
+		if len(ts) >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+func shapeKey(steps []Step) string {
+	var b strings.Builder
+	for _, st := range steps {
+		if st.Tx {
+			b.WriteByte('[')
+		}
+		for _, op := range st.Ops {
+			switch op.Kind {
+			case OpRead:
+				fmt.Fprintf(&b, "R%d", op.Var)
+			case OpWrite:
+				fmt.Fprintf(&b, "W%d", op.Var)
+			case OpFence:
+				b.WriteByte('F')
+			}
+		}
+		if st.Tx {
+			b.WriteByte(']')
+		}
+		b.WriteByte('.')
+	}
+	return b.String()
+}
+
+// canonicalKey sorts the per-thread shape keys so thread-permuted
+// duplicates (threads are symmetric up to register naming) collapse.
+func canonicalKey(threads []threadShape) string {
+	keys := make([]string, len(threads))
+	for i, th := range threads {
+		keys[i] = th.key
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// buildProgram turns shapes into a runnable program, assigning each
+// write a value unique to its (thread, op) position so outcome states
+// identify which write a read observed.
+func buildProgram(cfg EnumConfig, threads []threadShape, serial int) *Program {
+	p := &Program{
+		Name: fmt.Sprintf("gen-t%d-%04d", cfg.Threads, serial),
+		Vars: cfg.Vars,
+	}
+	var keys []string
+	for ti, th := range threads {
+		keys = append(keys, th.key)
+		pos := 0
+		steps := make([]Step, len(th.steps))
+		for si, st := range th.steps {
+			ops := make([]Op, len(st.Ops))
+			for oi, op := range st.Ops {
+				if op.Kind == OpWrite {
+					op.Val = uint64(ti*8 + pos + 1)
+				}
+				ops[oi] = op
+				pos++
+			}
+			steps[si] = Step{Tx: st.Tx, Ops: ops}
+		}
+		p.Threads = append(p.Threads, Thread{Name: fmt.Sprintf("t%d", ti), Steps: steps})
+	}
+	p.Doc = "auto-enumerated shape " + strings.Join(keys, " | ")
+	return p
+}
+
+// samplePrograms keeps a deterministic seeded sample of max programs
+// (preserving enumeration order within the sample).
+func samplePrograms(programs []*Program, max int, seed uint64) []*Program {
+	rng := sim.NewRand(seed)
+	// Partial Fisher-Yates over the index space, then sort the kept
+	// indices to preserve order.
+	idx := make([]int, len(programs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < max; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	kept := append([]int(nil), idx[:max]...)
+	sort.Ints(kept)
+	out := make([]*Program, max)
+	for i, k := range kept {
+		out[i] = programs[k]
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package litmus
+
+// The sequential oracle: the ground-truth outcome set for a strongly
+// atomic, serializable, sequentially consistent system. It enumerates
+// every interleaving of the program's atomic units — a whole transaction
+// is one unit, each non-transactional operation is its own unit —
+// respecting program order within each thread, and collects the distinct
+// final states. Observed ⊆ oracle is exactly the strong-atomicity check.
+//
+// The unit counts are tiny (≤ 4 threads × ≤ 4 steps), so exhaustive DFS
+// is cheap: the worst curated shape has well under 10⁴ interleavings.
+
+// oracleState is the mutable interpreter state threaded through the DFS.
+type oracleState struct {
+	mem     []uint64
+	regs    [][]uint64
+	stepIdx []int // next step per thread
+	readIdx []int // next read register per thread
+}
+
+// Oracle returns the exact outcome set of p under strong atomicity.
+func Oracle(p *Program) *OutcomeSet {
+	out := NewOutcomeSet()
+	st := &oracleState{
+		mem:     make([]uint64, p.Vars),
+		regs:    make([][]uint64, len(p.Threads)),
+		stepIdx: make([]int, len(p.Threads)),
+		readIdx: make([]int, len(p.Threads)),
+	}
+	for i, n := range p.ReadCounts() {
+		st.regs[i] = make([]uint64, n)
+	}
+	oracleDFS(p, st, out)
+	return out
+}
+
+func oracleDFS(p *Program, st *oracleState, out *OutcomeSet) {
+	done := true
+	for ti := range p.Threads {
+		if st.stepIdx[ti] >= len(p.Threads[ti].Steps) {
+			continue
+		}
+		done = false
+		step := p.Threads[ti].Steps[st.stepIdx[ti]]
+
+		// Apply the unit, remembering enough to undo it.
+		savedMem := make([]uint64, len(st.mem))
+		copy(savedMem, st.mem)
+		savedRead := st.readIdx[ti]
+		for _, op := range step.Ops {
+			switch op.Kind {
+			case OpRead:
+				st.regs[ti][st.readIdx[ti]] = st.mem[op.Var]
+				st.readIdx[ti]++
+			case OpWrite:
+				st.mem[op.Var] = op.Val
+			case OpFence:
+				// No-op on a sequentially consistent machine.
+			}
+		}
+		st.stepIdx[ti]++
+
+		oracleDFS(p, st, out)
+
+		// Undo.
+		st.stepIdx[ti]--
+		st.readIdx[ti] = savedRead
+		copy(st.mem, savedMem)
+	}
+	if done {
+		out.Add(State{Mem: st.mem, Regs: st.regs})
+	}
+}

@@ -1,0 +1,26 @@
+// Package conformance runs identical transactional workloads across every
+// TM system in the repository and checks that they all preserve the same
+// invariants — the property that lets the harness compare them fairly.
+//
+// Paper: §2 (the atomicity semantics every system must agree on).
+package conformance
+
+import (
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/tm"
+)
+
+// NewSystem builds the named TM system over m. It is the single system
+// builder shared by the conformance tests, the litmus executor, and the
+// fuzz targets (previously three test-only copies of the same switch).
+// name is a harness.SystemKind string; unknown names panic.
+//
+// The otable-backed systems get a 4096-row table: small enough that the
+// thousands of machines a litmus sweep builds stay cheap, large enough
+// that the tests' footprints effectively never alias rows.
+func NewSystem(name string, m *machine.Machine) tm.System {
+	opt := harness.DefaultOptions()
+	opt.OTableRows = 1 << 12
+	return harness.Build(harness.SystemKind(name), m, opt)
+}

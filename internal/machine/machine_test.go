@@ -605,3 +605,40 @@ func TestFootprintHistogram(t *testing.T) {
 		t.Fatal("empty hist misbehaves")
 	}
 }
+
+func TestElapseUntil(t *testing.T) {
+	// Forward target: the clock advances exactly to the target. Past or
+	// current target: no-op. Interleaving: two processors pinned to
+	// alternating slot times land their writes in slot order regardless
+	// of program structure.
+	run1(t, testParams(1), func(p *Proc) {
+		p.ElapseUntil(500)
+		if p.Now() != 500 {
+			t.Fatalf("clock = %d, want 500", p.Now())
+		}
+		p.ElapseUntil(500)
+		p.ElapseUntil(100)
+		if p.Now() != 500 {
+			t.Fatalf("clock moved on stale target: %d", p.Now())
+		}
+	})
+
+	m := New(testParams(2))
+	order := make([]int, 0, 4)
+	mk := func(id int, slots ...uint64) func(*Proc) {
+		return func(p *Proc) {
+			for _, s := range slots {
+				p.ElapseUntil(s)
+				order = append(order, id)
+			}
+		}
+	}
+	// Proc 0 owns slots 0 and 2000, proc 1 slots 1000 and 3000.
+	m.Run([]func(*Proc){mk(0, 0, 2000), mk(1, 1000, 3000)})
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("slot order = %v, want %v", order, want)
+		}
+	}
+}

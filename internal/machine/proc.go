@@ -68,6 +68,19 @@ func (p *Proc) Now() uint64 { return p.sp.Now() }
 // Elapse charges pure-compute cycles.
 func (p *Proc) Elapse(c uint64) { p.sp.Elapse(c) }
 
+// ElapseUntil advances the processor's local clock to at least cycle,
+// yielding to the engine exactly like Elapse. It is the schedule-replay
+// hook: the litmus executor pins every program operation to an absolute
+// slot time, so one enumerated interleaving replays identically under
+// both the reference and the run-ahead scheduler. A target at or before
+// the current clock is a no-op — a re-executed (aborted) transaction
+// body runs its remaining operations back to back.
+func (p *Proc) ElapseUntil(cycle uint64) {
+	if now := p.sp.Now(); cycle > now {
+		p.sp.Elapse(cycle - now)
+	}
+}
+
 // Block deschedules the processor until another wakes it.
 func (p *Proc) Block() { p.sp.Block() }
 
@@ -354,6 +367,31 @@ func (p *Proc) access(addr uint64, write, tx bool) Outcome {
 		if out, aborted := p.checkPending(); aborted {
 			return out
 		}
+		return okOutcome
+	}
+	// 5. Completion-time conflict re-check: the charge above yields, and a
+	// hardware transaction may have touched this line while the miss was in
+	// flight — its footprint was empty at the issue-time check, but this
+	// access's data lands now. In hardware the store's invalidation (or the
+	// load's downgrade) snoops the SR/SW bits when the coherence transaction
+	// completes, so such a transaction is killed; without the re-check a
+	// hardware transaction could read a line mid-way through a
+	// non-transactional store's miss and commit having seen both the old
+	// and the new value. Victims killed at issue already carry a pending
+	// abort and are skipped.
+	p.resolveConflicts(line, write, false)
+	if p.ufo && p.m.Mem.Faults(addr, write) {
+		// 6. Protection re-check, same window: a software transaction may
+		// have installed UFO protection on (and eagerly written) this line
+		// during the miss. In hardware the permission check rides the
+		// coherence response, so the access faults; without this re-check a
+		// non-transactional reader could return the transaction's
+		// uncommitted value — a strong-atomicity hole the litmus suite
+		// catches. The timing was charged but no data moves; the handler's
+		// retry will hit in L1.
+		p.m.Count.UFOFaults++
+		p.record(TraceUFOFault, AbortNone, addr, 0, FlagAddr)
+		return Outcome{Kind: UFOFault, Addr: addr}
 	}
 	return okOutcome
 }
