@@ -8,21 +8,24 @@ import (
 	"repro/internal/cm"
 	"repro/internal/contention"
 	"repro/internal/harness"
+	"repro/internal/machine"
 )
 
 // config carries every tmsim flag value plus the set of flags the user
 // explicitly passed (so validation can tell a default apart from an
 // explicit choice).
 type config struct {
-	experiment string
-	scaleName  string
-	policy     string
-	seed       uint64
-	seeds      int
-	csvPath    string
-	parallel   int
-	progress   bool
-	metricsOut string
+	experiment   string
+	scaleName    string
+	policy       string
+	sched        string
+	windowCycles uint64
+	seed         uint64
+	seeds        int
+	csvPath      string
+	parallel     int
+	progress     bool
+	metricsOut   string
 
 	traceOut      string
 	traceFormat   string
@@ -47,7 +50,7 @@ type config struct {
 // knownExperiments are the -experiment values main dispatches on.
 var knownExperiments = []string{
 	"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended",
-	"footprints", "policies", "litmus", "all",
+	"footprints", "policies", "litmus", "scale", "all",
 }
 
 // parseConfig parses argv (without the program name), records which
@@ -57,9 +60,11 @@ func parseConfig(args []string, errOut io.Writer) (*config, error) {
 	cfg := &config{}
 	fs := flag.NewFlagSet("tmsim", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	fs.StringVar(&cfg.experiment, "experiment", "all", "fig5 | fig6 | fig7 | fig8 | ablate | extended | footprints | policies | litmus | params | all")
+	fs.StringVar(&cfg.experiment, "experiment", "all", "fig5 | fig6 | fig7 | fig8 | ablate | extended | footprints | policies | litmus | scale | params | all")
 	fs.StringVar(&cfg.scaleName, "scale", "full", "small | full")
 	fs.StringVar(&cfg.policy, "policy", "exp", "contention-management policy: exp | linear | karma | serialize")
+	fs.StringVar(&cfg.sched, "sched", "fast", "engine scheduler: fast | reference | parallel (results are bit-identical; only wall clock differs)")
+	fs.Uint64Var(&cfg.windowCycles, "window-cycles", 0, "parallel-scheduler window width in simulated cycles (0 = engine default; requires -sched parallel)")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "machine RNG seed")
 	fs.IntVar(&cfg.seeds, "seeds", 0, "run fig5 across seeds 1..N and report mean/min/max")
 	fs.StringVar(&cfg.csvPath, "csv", "", "also write the fig5 sweep as CSV to this file")
@@ -99,6 +104,13 @@ func (cfg *config) spec() cm.Spec {
 	return s
 }
 
+// applySched writes the -sched / -window-cycles selection into params.
+func (cfg *config) applySched(p *machine.Params) {
+	p.ReferenceScheduler = cfg.sched == "reference"
+	p.ParallelScheduler = cfg.sched == "parallel"
+	p.WindowCycles = cfg.windowCycles
+}
+
 // scale resolves -scale (validate has already vetted it).
 func (cfg *config) scale() harness.Scale {
 	if cfg.scaleName == "small" {
@@ -127,6 +139,14 @@ func (cfg *config) validate() error {
 	}
 	if _, err := cm.ParseSpec(cfg.policy); err != nil {
 		return fmt.Errorf("-policy %q: want one of %v", cfg.policy, cm.Kinds)
+	}
+	switch cfg.sched {
+	case "fast", "reference", "parallel":
+	default:
+		return fmt.Errorf("unknown scheduler %q (want fast, reference, or parallel)", cfg.sched)
+	}
+	if cfg.set["window-cycles"] && cfg.sched != "parallel" {
+		return fmt.Errorf("-window-cycles requires -sched parallel")
 	}
 	if cfg.seeds < 0 {
 		return fmt.Errorf("-seeds %d: want >= 0", cfg.seeds)

@@ -9,11 +9,21 @@
 //	tmsim -experiment extended # extension workloads beyond the paper (ssca2, intruder, labyrinth)
 //	tmsim -experiment policies # contention-management policy ablation
 //	tmsim -experiment litmus # strong-atomicity litmus conformance matrix
+//	tmsim -experiment scale  # scaling study: scalemix at 64/128/256 simulated processors
 //	tmsim -experiment params # Table 4: simulation parameters
-//	tmsim -experiment all    # everything above
+//	tmsim -experiment all    # everything above except scale (which is a
+//	                         # host-scaling study, not a paper artifact)
 //
 // -scale small runs quick versions; -scale full (default) runs the sizes
 // recorded in EXPERIMENTS.md. Runs are deterministic for a given -seed.
+//
+// -sched selects the engine scheduler every simulated machine runs
+// under: fast (the run-ahead serial scheduler, default), reference (the
+// executable specification), or parallel (the time-windowed parallel
+// scheduler, DESIGN.md §14; -window-cycles tunes its host-side window
+// width). Simulated results are bit-identical across all three — the
+// choice only affects wall-clock time, with parallel using multiple
+// host cores per cell.
 //
 // -policy selects the contention-management (backoff) policy every
 // system retries under: exp (the paper's capped exponential, default),
@@ -99,6 +109,7 @@ func main() {
 	scale := cfg.scale()
 	opt := harness.DefaultOptions()
 	opt.Params.Seed = cfg.seed
+	cfg.applySched(&opt.Params)
 	opt.CM = cfg.spec()
 	if cfg.contentionOut != "" {
 		opt.Contention = true
@@ -189,6 +200,10 @@ func main() {
 		case "policies":
 			rows, err := runner.PolicySweep(opt, scale)
 			harness.PrintPolicySweep(os.Stdout, rows)
+			fail(err)
+		case "scale":
+			d, err := runner.ScaleSweep(opt, scale)
+			harness.PrintScaleSweep(os.Stdout, d, scale)
 			fail(err)
 		case "litmus":
 			lc := litmus.FullConfig()

@@ -124,56 +124,93 @@ func (c *L1) InvalidateAll() {
 func (c *L1) Hits() uint64   { return c.hits }
 func (c *L1) Misses() uint64 { return c.misses }
 
-// Directory tracks, for every line, the bitmask of processors holding a
-// cached copy. It supports up to 64 processors.
+// MaxProcs is the largest processor count the directory's sharer sets
+// (and therefore the machine) support.
+const MaxProcs = 256
+
+// ProcSet is a fixed-width bitmask over processor IDs 0..MaxProcs-1,
+// the directory's sharer-set representation.
+type ProcSet [MaxProcs / 64]uint64
+
+// Set records processor p as a member.
+func (s *ProcSet) Set(p int) { s[uint(p)/64] |= 1 << (uint(p) % 64) }
+
+// Clear removes processor p.
+func (s *ProcSet) Clear(p int) { s[uint(p)/64] &^= 1 << (uint(p) % 64) }
+
+// Has reports whether processor p is a member.
+func (s ProcSet) Has(p int) bool { return s[uint(p)/64]&(1<<(uint(p)%64)) != 0 }
+
+// Empty reports whether no processor is a member.
+func (s ProcSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Procs returns the member processor IDs in ascending order.
+func (s ProcSet) Procs() []int {
+	var out []int
+	for wi, w := range s {
+		for i := 0; w != 0; i++ {
+			if w&1 != 0 {
+				out = append(out, wi*64+i)
+			}
+			w >>= 1
+		}
+	}
+	return out
+}
+
+// Directory tracks, for every line, the set of processors holding a
+// cached copy. It supports up to MaxProcs processors.
 type Directory struct {
-	sharers map[uint64]uint64
+	sharers map[uint64]ProcSet
 }
 
 // NewDirectory creates an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{sharers: make(map[uint64]uint64)}
+	return &Directory{sharers: make(map[uint64]ProcSet)}
 }
 
-// Sharers returns the processor bitmask for line.
-func (d *Directory) Sharers(line uint64) uint64 { return d.sharers[line] }
+// Sharers returns the sharer set for line (zero value when unshared).
+func (d *Directory) Sharers(line uint64) ProcSet { return d.sharers[line] }
 
 // Add records that processor p holds line.
 func (d *Directory) Add(line uint64, p int) {
-	d.sharers[line] |= 1 << uint(p)
+	s := d.sharers[line]
+	s.Set(p)
+	d.sharers[line] = s
 }
 
 // Remove records that processor p no longer holds line.
 func (d *Directory) Remove(line uint64, p int) {
-	if m, ok := d.sharers[line]; ok {
-		m &^= 1 << uint(p)
-		if m == 0 {
+	if s, ok := d.sharers[line]; ok {
+		s.Clear(p)
+		if s.Empty() {
 			delete(d.sharers, line)
 		} else {
-			d.sharers[line] = m
+			d.sharers[line] = s
 		}
 	}
 }
 
 // Others returns the processors other than p that hold line.
 func (d *Directory) Others(line uint64, p int) []int {
-	m := d.sharers[line] &^ (1 << uint(p))
-	if m == 0 {
+	s := d.sharers[line]
+	if s.Empty() {
 		return nil
 	}
-	var out []int
-	for i := 0; m != 0; i++ {
-		if m&1 != 0 {
-			out = append(out, i)
-		}
-		m >>= 1
-	}
-	return out
+	s.Clear(p)
+	return s.Procs()
 }
 
 // HeldBy reports whether processor p holds line.
 func (d *Directory) HeldBy(line uint64, p int) bool {
-	return d.sharers[line]&(1<<uint(p)) != 0
+	return d.sharers[line].Has(p)
 }
 
 // Lines returns every resident line (for consistency checking).
@@ -190,8 +227,8 @@ func (c *L1) Lines() []uint64 {
 }
 
 // ForEach visits every line with at least one sharer.
-func (d *Directory) ForEach(f func(line uint64, sharers uint64)) {
-	for line, mask := range d.sharers {
-		f(line, mask)
+func (d *Directory) ForEach(f func(line uint64, sharers ProcSet)) {
+	for line, set := range d.sharers {
+		f(line, set)
 	}
 }

@@ -125,7 +125,7 @@ func TestDirectorySharers(t *testing.T) {
 	d.Remove(5, 0)
 	d.Remove(5, 2)
 	d.Remove(5, 3)
-	if d.Sharers(5) != 0 {
+	if !d.Sharers(5).Empty() {
 		t.Fatal("sharers not empty after removals")
 	}
 	if _, ok := d.sharers[5]; ok {
@@ -136,7 +136,7 @@ func TestDirectorySharers(t *testing.T) {
 func TestDirectoryRemoveAbsent(t *testing.T) {
 	d := NewDirectory()
 	d.Remove(9, 1) // must not panic
-	if d.Sharers(9) != 0 {
+	if !d.Sharers(9).Empty() {
 		t.Fatal("phantom sharer")
 	}
 }

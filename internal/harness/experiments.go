@@ -85,6 +85,77 @@ func PrintFigure5(w io.Writer, data []Figure5Data, scale Scale) {
 	}
 }
 
+// ScaleProcCounts is the `-experiment scale` x-axis: simulated-processor
+// counts beyond the paper's 16, exercising the 256-processor directory
+// and sized for the windowed-parallel scheduler (DESIGN.md §14). The
+// small scale keeps unit tests fast.
+func ScaleProcCounts(s Scale) []int {
+	if s == ScaleFull {
+		return []int{64, 128, 256}
+	}
+	return []int{8, 16}
+}
+
+// ScaleSystems are the systems the scaling study sweeps: the paper's
+// hybrid and a pure STM for contrast.
+var ScaleSystems = []SystemKind{UFOHybrid, TL2}
+
+// ScaleBenchmark returns the scaling-study workload at the given scale.
+func ScaleBenchmark(s Scale) WorkloadFactory {
+	iters, work := 400, 64
+	if s == ScaleFull {
+		iters, work = 12800, 256
+	}
+	return WorkloadFactory{
+		Name: "scalemix",
+		New:  func() stamp.Workload { return stamp.NewScaleMix(iters, work) },
+	}
+}
+
+// ScaleSweep runs the Figure-5-style scaling study: scalemix speedup
+// over sequential at every ScaleProcCounts processor count. The engine
+// scheduler comes from opt.Params (tmsim's -sched flag); results are
+// bit-identical across schedulers, only the wall clock differs.
+func (r *Runner) ScaleSweep(opt Options, scale Scale) (Figure5Data, error) {
+	f := ScaleBenchmark(scale)
+	procs := ScaleProcCounts(scale)
+	jobs := []Job{{System: Sequential, Factory: f, Threads: 1, Opt: opt}}
+	for _, sys := range ScaleSystems {
+		for _, p := range procs {
+			jobs = append(jobs, Job{System: sys, Factory: f, Threads: p, Opt: opt})
+		}
+	}
+	results, err := r.Execute(jobs)
+	d := Figure5Data{Workload: f.Name, Cells: make(map[SystemKind]map[int]Result)}
+	d.SeqCycles = results[0].Cycles
+	i := 1
+	for _, sys := range ScaleSystems {
+		d.Cells[sys] = make(map[int]Result)
+		for _, p := range procs {
+			d.Cells[sys][p] = results[i]
+			i++
+		}
+	}
+	return d, err
+}
+
+// PrintScaleSweep renders the scaling study as a text table.
+func PrintScaleSweep(w io.Writer, d Figure5Data, scale Scale) {
+	fmt.Fprintf(w, "\nScaling study — %s (speedup vs. sequential; seq = %d cycles)\n", d.Workload, d.SeqCycles)
+	fmt.Fprintf(w, "%-14s", "system")
+	for _, p := range ScaleProcCounts(scale) {
+		fmt.Fprintf(w, "%8s", fmt.Sprintf("p=%d", p))
+	}
+	fmt.Fprintln(w)
+	for _, sys := range ScaleSystems {
+		fmt.Fprintf(w, "%-14s", sys)
+		for _, p := range ScaleProcCounts(scale) {
+			fmt.Fprintf(w, "%8.2f", d.Cells[sys][p].Speedup(d.SeqCycles))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
 // Figure6Row is one (workload, system) abort breakdown.
 type Figure6Row struct {
 	Workload string

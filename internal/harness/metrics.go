@@ -98,7 +98,8 @@ func ReadMetricsReport(r io.Reader) (*MetricsReport, error) {
 // FindWorkload looks a workload factory up by name across the paper and
 // extension benchmark sets at the given scale.
 func FindWorkload(name string, scale Scale) (WorkloadFactory, bool) {
-	for _, f := range append(Benchmarks(scale), ExtendedBenchmarks(scale)...) {
+	all := append(Benchmarks(scale), ExtendedBenchmarks(scale)...)
+	for _, f := range append(all, ScaleBenchmark(scale)) {
 		if f.Name == name {
 			return f, true
 		}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestScaleSweepSchedulerBitIdentical runs the small scaling study under
+// the single-token scheduler and the windowed-parallel scheduler (at the
+// default window and a deliberately odd one) and requires bit-identical
+// results: same sequential baseline, same per-cell cycle counts, stats,
+// and machine counters, same rendered table. This is the scale-experiment
+// counterpart of the Figure 5 golden differential test — the parallel
+// scheduler may only change wall clock, never results (DESIGN.md §14).
+func TestScaleSweepSchedulerBitIdentical(t *testing.T) {
+	run := func(parallel bool, window uint64) (Figure5Data, []byte) {
+		t.Helper()
+		opt := testOptions()
+		opt.Params.ParallelScheduler = parallel
+		opt.Params.WindowCycles = window
+		d, err := Serial().ScaleSweep(opt, ScaleSmall)
+		if err != nil {
+			t.Fatalf("ScaleSweep(parallel=%v, window=%d): %v", parallel, window, err)
+		}
+		var buf bytes.Buffer
+		PrintScaleSweep(&buf, d, ScaleSmall)
+		return d, buf.Bytes()
+	}
+
+	ref, refOut := run(false, 0)
+	if ref.SeqCycles == 0 {
+		t.Fatal("sequential baseline ran zero cycles")
+	}
+	for name, cfg := range map[string]struct {
+		window uint64
+	}{"parallel": {0}, "parallel-w97": {97}} {
+		got, gotOut := run(true, cfg.window)
+		if !bytes.Equal(refOut, gotOut) {
+			t.Errorf("%s: rendered sweep differs from single-token scheduler:\n--- serial\n%s--- %s\n%s",
+				name, refOut, name, gotOut)
+		}
+		if got.SeqCycles != ref.SeqCycles {
+			t.Errorf("%s: seq baseline %d cycles, serial %d", name, got.SeqCycles, ref.SeqCycles)
+		}
+		for _, sys := range ScaleSystems {
+			for _, p := range ScaleProcCounts(ScaleSmall) {
+				r, w := ref.Cells[sys][p], got.Cells[sys][p]
+				if w.Cycles != r.Cycles || w.Stats != r.Stats || !reflect.DeepEqual(w.Machine, r.Machine) {
+					t.Errorf("%s: %s p=%d diverged: cycles %d vs %d, stats %+v vs %+v",
+						name, sys, p, w.Cycles, r.Cycles, w.Stats, r.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestScaleSweepSpeedupMonotoneSmall pins the point of the scaling
+// study: with compute-dominated work the simulated speedup must grow
+// with the processor count at small scale (the full-scale 256-processor
+// cell is allowed a contention knee, exercised by the CI smoke job).
+func TestScaleSweepSpeedupMonotoneSmall(t *testing.T) {
+	d, err := Serial().ScaleSweep(testOptions(), ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := ScaleProcCounts(ScaleSmall)
+	for _, sys := range ScaleSystems {
+		prev := 1.0
+		for _, p := range procs {
+			s := d.Cells[sys][p].Speedup(d.SeqCycles)
+			if s <= prev {
+				t.Errorf("%s: speedup at p=%d is %.2f, not above %.2f at the previous point", sys, p, s, prev)
+			}
+			prev = s
+		}
+	}
+}

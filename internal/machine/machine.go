@@ -75,6 +75,7 @@ var abortNames = [numAbortReasons]string{
 	"nesting",
 }
 
+// String returns the abort-reason name used in reports and traces.
 func (r AbortReason) String() string {
 	if int(r) < len(abortNames) {
 		return abortNames[r]
@@ -103,6 +104,7 @@ const (
 	HWAborted
 )
 
+// String returns the outcome-kind name used in reports and traces.
 func (k OutcomeKind) String() string {
 	switch k {
 	case OK:
@@ -139,7 +141,9 @@ const (
 	RequesterWins
 )
 
-// Params is the machine configuration (the Table 4 analogue).
+// Params is the machine configuration (the Table 4 analogue). Together
+// with the workloads it fully determines a run: same Params, same seed,
+// same results, bit-identical under every scheduler selection.
 type Params struct {
 	Procs   int
 	L1Bytes int
@@ -162,6 +166,17 @@ type Params struct {
 	// Reference). Simulated results are bit-identical; differential tests
 	// use it to pin the fast path to the specification.
 	ReferenceScheduler bool
+	// ParallelScheduler runs the machine on the engine's time-windowed
+	// parallel scheduler (sim.Config.Parallel, DESIGN.md §14): processor
+	// goroutines run concurrently and every machine operation serializes
+	// through an ordered section in (cycle, proc id) order. Simulated
+	// results are bit-identical to both serial schedulers. Mutually
+	// exclusive with ReferenceScheduler.
+	ParallelScheduler bool
+	// WindowCycles is the parallel scheduler's window width in cycles
+	// (zero selects sim.DefaultWindowCycles). Affects host-side
+	// synchronization cadence only, never simulated results.
+	WindowCycles uint64
 
 	HWPolicy ContentionPolicy
 	// TrueConflictUFOKills enables the Figure 8 limit study: set_ufo_bits
@@ -180,7 +195,7 @@ type Params struct {
 }
 
 // DefaultParams returns the baseline configuration used throughout the
-// evaluation.
+// evaluation, seeded so that runs are reproducible out of the box.
 func DefaultParams(procs int) Params {
 	return Params{
 		Procs:          procs,
@@ -231,10 +246,14 @@ type ConflictRecorder interface {
 }
 
 // SetConflictRecorder attaches (or with nil detaches) a conflict
-// recorder. Recording costs one nil check per abort/commit when detached.
+// recorder. Recording costs one nil check per abort/commit when
+// detached. Attach before Run; the machine then invokes the recorder
+// from inside ordered operations, so it observes events in the
+// deterministic schedule order without locking.
 func (m *Machine) SetConflictRecorder(r ConflictRecorder) { m.rec = r }
 
-// ConflictRecorder returns the attached recorder, or nil.
+// ConflictRecorder returns the attached recorder, or nil. The
+// attachment is fixed before Run, so the read needs no ordered section.
 func (m *Machine) ConflictRecorder() ConflictRecorder { return m.rec }
 
 // Counters aggregates machine-level event counts.
@@ -252,7 +271,12 @@ type Counters struct {
 	SWFootprint Hist
 }
 
-// Machine is the simulated multiprocessor.
+// Machine is the simulated multiprocessor. Its shared state (memory,
+// directory, counters, trace, age sequence, Rand) is mutated only from
+// Proc methods, which serialize deterministically: trivially under the
+// serial schedulers, and through ordered sections in (cycle, proc id)
+// order under the parallel scheduler. Results are therefore bit-identical
+// across schedulers.
 type Machine struct {
 	Params
 	Eng   *sim.Engine
@@ -269,18 +293,28 @@ type Machine struct {
 	rec   ConflictRecorder
 }
 
-// New builds a machine from params.
+// New builds a machine from params. All state derives from params (the
+// RNG from params.Seed), so equal Params build machines whose runs are
+// deterministic replicas of each other.
 func New(p Params) *Machine {
 	if p.Procs <= 0 {
 		panic("machine: Procs must be positive")
 	}
+	if p.Procs > cache.MaxProcs {
+		panic(fmt.Sprintf("machine: Procs %d exceeds the directory's %d-processor limit", p.Procs, cache.MaxProcs))
+	}
+	if p.ReferenceScheduler && p.ParallelScheduler {
+		panic("machine: ReferenceScheduler and ParallelScheduler are mutually exclusive")
+	}
 	m := &Machine{
 		Params: p,
 		Eng: sim.New(sim.Config{
-			Procs:     p.Procs,
-			Quantum:   p.Quantum,
-			MaxSteps:  p.MaxSteps,
-			Reference: p.ReferenceScheduler,
+			Procs:        p.Procs,
+			Quantum:      p.Quantum,
+			MaxSteps:     p.MaxSteps,
+			Reference:    p.ReferenceScheduler,
+			Parallel:     p.ParallelScheduler,
+			WindowCycles: p.WindowCycles,
 		}),
 		Mem:  mem.New(p.MemBytes),
 		Rand: sim.NewRand(p.Seed),
@@ -304,21 +338,28 @@ func New(p Params) *Machine {
 	return m
 }
 
-// Procs returns the machine's processors in ID order.
+// Procs returns the machine's processors in ID order. The slice is
+// fixed at construction; reading it needs no ordered section.
 func (m *Machine) Procs() []*Proc { return m.procs }
 
-// Proc returns processor id.
+// Proc returns processor id. The mapping is fixed at construction;
+// reading it needs no ordered section.
 func (m *Machine) Proc(id int) *Proc { return m.procs[id] }
 
 // NextAge returns a fresh, globally ordered transaction age (smaller is
 // older). Both HW and SW transactions draw from the same sequence so that
-// cross-system age comparisons are meaningful.
+// cross-system age comparisons are meaningful. Under the parallel
+// scheduler the caller must hold an ordered section (Proc.BeginOrdered):
+// the sequence is shared, and the draw order must match the serial
+// schedule. The TM systems' Atomic wrappers already satisfy this.
 func (m *Machine) NextAge() uint64 {
 	m.txSeq++
 	return m.txSeq
 }
 
-// Run executes one workload per processor to completion.
+// Run executes one workload per processor to completion under the
+// scheduler Params selected; the observable result is identical for all
+// of them. Run itself must not be called concurrently.
 func (m *Machine) Run(workloads []func(*Proc)) {
 	if len(workloads) != len(m.procs) {
 		panic(fmt.Sprintf("machine: %d workloads for %d processors", len(workloads), len(m.procs)))
@@ -331,13 +372,18 @@ func (m *Machine) Run(workloads []func(*Proc)) {
 	m.Eng.Run(ws)
 }
 
-// Cycles returns the simulated duration so far.
+// Cycles returns the simulated duration so far. Like sim.Engine.Now it
+// is meant for between-runs reads; mid-run reads under the parallel
+// scheduler are racy snapshots unless made from inside an ordered
+// section.
 func (m *Machine) Cycles() uint64 { return m.Eng.Now() }
 
 // CheckConsistency validates the machine's internal invariants: the
 // directory and the per-processor L1s agree exactly, and speculative
 // state only exists inside in-flight transactions. Tests call this after
 // (and during) stress runs; it is not part of the simulated semantics.
+// It reads shared state without brackets, so call it between runs, or
+// mid-run only from a processor inside an ordered section.
 func (m *Machine) CheckConsistency() error {
 	// Every L1-resident line is registered in the directory...
 	for _, p := range m.procs {
@@ -349,15 +395,14 @@ func (m *Machine) CheckConsistency() error {
 	}
 	// ...and every directory entry is backed by a resident line.
 	var err error
-	m.dir.ForEach(func(line uint64, sharers uint64) {
+	m.dir.ForEach(func(line uint64, sharers cache.ProcSet) {
 		if err != nil {
 			return
 		}
-		for i := 0; sharers != 0; i++ {
-			if sharers&1 != 0 && !m.procs[i].l1.Contains(line) {
+		for _, i := range sharers.Procs() {
+			if !m.procs[i].l1.Contains(line) {
 				err = fmt.Errorf("machine: directory lists proc %d for line %d but its L1 disagrees", i, line)
 			}
-			sharers >>= 1
 		}
 	})
 	if err != nil {

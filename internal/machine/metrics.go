@@ -42,7 +42,8 @@ func histInto(reg *obs.Registry, name, help string, h *Hist) {
 // reg: global counters (commits, per-reason aborts, NACKs, UFO kills and
 // faults, STM/HTM conflict ages), the committed-footprint histograms, the
 // simulated cycle count, and per-processor cycle and L1 hit/miss
-// breakdowns. Call it after Run; the registered values are copies.
+// breakdowns. Call it after Run (never mid-run — it reads shared
+// counters without ordering); the registered values are copies.
 func (m *Machine) RegisterMetrics(reg *obs.Registry) {
 	reg.Counter(MetricCycles, "cycles", "simulated duration of the run (max over processors)").Add(m.Cycles())
 	reg.Counter(MetricHWCommits, "transactions", "hardware transactions committed (Figures 5-6)").Add(m.Count.HWCommits)

@@ -28,6 +28,7 @@ var traceKindNames = []string{
 	"sw-abort", "ufo-set", "ufo-fault", "nack", "block", "wake",
 }
 
+// String returns the trace-kind name used in text exports.
 func (k TraceKind) String() string {
 	if int(k) < len(traceKindNames) {
 		return traceKindNames[k]
@@ -66,6 +67,7 @@ func (e TraceEvent) HasAddr() bool { return e.Flags&FlagAddr != 0 }
 // HasAge reports whether Age carries a real transaction age.
 func (e TraceEvent) HasAge() bool { return e.Flags&FlagAge != 0 }
 
+// String formats the event as one line of the text trace.
 func (e TraceEvent) String() string {
 	s := fmt.Sprintf("%10d  p%-2d %-9s", e.Cycle, e.Proc, e.Kind)
 	switch e.Kind {
@@ -92,6 +94,9 @@ type Trace struct {
 }
 
 // EnableTrace starts recording up to limit events (most recent kept).
+// Events are appended from inside the machine's ordered operations, so
+// the recorded sequence is deterministic and identical under every
+// scheduler. Call EnableTrace itself before Run.
 func (m *Machine) EnableTrace(limit int) *Trace {
 	if limit <= 0 {
 		limit = 4096
@@ -100,7 +105,8 @@ func (m *Machine) EnableTrace(limit int) *Trace {
 	return m.trace
 }
 
-// Trace returns the machine's trace, or nil.
+// Trace returns the machine's trace, or nil. Read it between runs; the
+// machine appends to it during Run (in deterministic order).
 func (m *Machine) Trace() *Trace { return m.trace }
 
 // add records an event.
@@ -157,7 +163,10 @@ func (p *Proc) record(kind TraceKind, reason AbortReason, addr, age uint64, flag
 }
 
 // RecordSW lets software TMs log their transaction lifecycle into the
-// shared trace.
+// shared trace. Self-bracketed in an ordered section so trace events
+// land in deterministic schedule order.
 func (p *Proc) RecordSW(kind TraceKind, reason AbortReason, age uint64) {
+	p.sp.EnterOrdered(0)
+	defer p.sp.ExitOrdered()
 	p.record(kind, reason, 0, age, FlagAge)
 }

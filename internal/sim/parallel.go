@@ -1,0 +1,546 @@
+package sim
+
+// Conservative time-windowed parallel execution (DESIGN.md §14).
+//
+// The serial schedulers (fast path and reference) maintain one invariant:
+// simulated work is a sequence of *steps* — the execution between two
+// scheduling points — performed in ascending (clock, id) order. The
+// parallel scheduler keeps exactly that order for every step that can
+// touch shared simulated state, but lets the pure host-side compute
+// between such steps run concurrently on real goroutines (bounded, like
+// any Go program, by GOMAXPROCS).
+//
+// Mechanically:
+//
+//   - Each processor continuously publishes its *frontier* — its local
+//     clock — through an atomic (Proc.pub). A blocked or finished
+//     processor publishes parkedPub (infinity).
+//   - Shared-state stretches execute inside *ordered sections*
+//     (Proc.EnterOrdered / Proc.ExitOrdered). At most one ordered section
+//     runs at a time, and entry is granted only to the processor that is
+//     the global minimum in (frontier, id) order — i.e. exactly the
+//     processor the serial schedulers would run next. Waiting entrants
+//     queue in per-cache-line shards (parEngine.shards); grants scan the
+//     shard minima, so the ordering key is (cycle, proc id) exactly as in
+//     the serial schedulers.
+//   - Elapse is a step boundary: an ordered section spanning an Elapse
+//     releases the entry token at the old frontier, publishes the new
+//     one, and re-acquires — so every ordered stretch between two Elapses
+//     occupies exactly one (clock, id) slot of the serial schedule.
+//   - Execution proceeds in time windows [base, base+WindowCycles). A
+//     processor whose clock reaches the window end parks at a barrier;
+//     when every in-flight processor has parked, blocked, or finished,
+//     the manager (the Run goroutine) opens the next window at the
+//     minimum parked clock. Windows bound skew, give the manager a
+//     deterministic point to detect deadlock and select panic winners,
+//     and never affect simulated results — the window size only changes
+//     host-side scheduling.
+//
+// Determinism argument: ordered sections are totally ordered by
+// (frontier, id), which is the serial schedulers' step order; free
+// compute between steps touches only processor-local host state, so it
+// commutes with everything. Block and Wake are themselves ordered
+// sections, so sleep/wakeup races resolve in the serial order. The
+// differential tests in sched_equiv_test.go and the machine- and
+// harness-level golden tests pin this equivalence bit-for-bit.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// OrderShards is the number of per-cache-line waiter shards used by the
+// parallel scheduler's ordered-entry queue. Waiters are bucketed by
+// line % OrderShards; grants scan the shard minima, so sharding never
+// changes the grant order — it is the structural hook for relaxing
+// independent-line ordering later.
+const OrderShards = 64
+
+// DefaultWindowCycles is the window width used when Config.WindowCycles
+// is zero. Window width affects only host-side synchronization cadence;
+// simulated results stay bit-identical at any width.
+const DefaultWindowCycles = 10_000
+
+// parkedPub is the frontier published by blocked and finished
+// processors: later than every real clock, so they never gate a grant.
+const parkedPub = math.MaxUint64
+
+// parEngine is the parallel scheduler's shared state. All fields except
+// the atomics are guarded by mu.
+type parEngine struct {
+	mu sync.Mutex
+
+	// winEnd is the current window's end cycle (exclusive). Atomic so
+	// free-running processors can test it without taking mu.
+	winEnd atomic.Uint64
+	// nwait counts queued ordered-entry waiters. Atomic so the free
+	// Elapse fast path can skip the lock when nobody is waiting.
+	nwait atomic.Int64
+
+	live    int                  // released processors not yet parked, blocked, or done
+	running *Proc                // current ordered-section holder, nil if none
+	shards  [OrderShards][]*Proc // ordered-entry waiters, bucketed by line
+	barrier []*Proc              // processors parked until the next window
+	drained chan struct{}        // capacity 1: window empty or fatal diagnostic
+	aborted bool                 // a workload panic was captured this run
+}
+
+func (par *parEngine) signalDrained() {
+	select {
+	case par.drained <- struct{}{}:
+	default:
+	}
+}
+
+// runParallel executes the workloads under the windowed-parallel
+// scheduler. The Run goroutine acts as the window manager: it opens each
+// window, parks until the window drains, and performs the deterministic
+// termination checks (all done, deadlock, livelock, panic winner).
+func (e *Engine) runParallel(workloads []func(*Proc)) {
+	par := &parEngine{drained: make(chan struct{}, 1)}
+	e.par = par
+	window := e.cfg.WindowCycles
+	if window == 0 {
+		window = DefaultWindowCycles
+	}
+	e.notDone = 0
+	par.barrier = par.barrier[:0]
+	for _, p := range e.procs {
+		if p.state != Done {
+			e.notDone++
+		}
+		switch p.state {
+		case Ready:
+			p.pub.Store(p.now)
+			par.barrier = append(par.barrier, p)
+		case Blocked:
+			p.pub.Store(parkedPub)
+		}
+	}
+	for i, w := range workloads {
+		p, body := e.procs[i], w
+		go func() {
+			defer p.parFinish()
+			<-p.grant
+			body(p)
+		}()
+	}
+	for {
+		par.mu.Lock()
+		if e.termMsg != "" {
+			msg := e.termMsg
+			par.mu.Unlock()
+			panic(msg)
+		}
+		if par.aborted {
+			e.panicked = e.parPanicWinnerLocked().panicVal
+			par.mu.Unlock()
+			panic(e.panicked)
+		}
+		if e.notDone == 0 {
+			par.mu.Unlock()
+			return
+		}
+		if len(par.barrier) == 0 {
+			msg := "sim: deadlock — all unfinished processors are blocked\n" + e.parDumpLocked()
+			par.mu.Unlock()
+			panic(msg)
+		}
+		// Each window is at least one scheduling step; counting it here
+		// keeps the livelock watchdog live even when every elapse
+		// crosses the barrier (tiny windows), where the free-path
+		// coarse counter never runs.
+		e.steps++
+		if e.steps > e.cfg.MaxSteps {
+			msg := "sim: step budget exhausted (livelock?)\n" + e.parDumpLocked()
+			par.mu.Unlock()
+			panic(msg)
+		}
+		// Open the next window at the earliest parked clock.
+		base := par.barrier[0].now
+		for _, p := range par.barrier[1:] {
+			if p.now < base {
+				base = p.now
+			}
+		}
+		end := base + window
+		if end < base { // saturate on overflow
+			end = math.MaxUint64
+		}
+		par.winEnd.Store(end)
+		release := par.barrier[:0]
+		var stay []*Proc
+		for _, p := range par.barrier {
+			if p.now < end {
+				release = append(release, p)
+			} else {
+				stay = append(stay, p)
+			}
+		}
+		par.barrier = stay
+		par.live = len(release)
+		select { // clear any stale drain signal before releasing
+		case <-par.drained:
+		default:
+		}
+		for _, p := range release {
+			p.grant <- struct{}{}
+		}
+		par.mu.Unlock()
+		<-par.drained
+	}
+}
+
+// parPanicWinnerLocked selects the deterministic panic winner: the
+// captured panic with the smallest (clock, id) step key — the first
+// panic the serial schedulers would have reached.
+func (e *Engine) parPanicWinnerLocked() *Proc {
+	var win *Proc
+	for _, p := range e.procs {
+		if p.panicVal == nil {
+			continue
+		}
+		if win == nil || p.panicAt < win.panicAt || (p.panicAt == win.panicAt && p.id < win.id) {
+			win = p
+		}
+	}
+	return win
+}
+
+// parDumpLocked renders processor states for fatal diagnostics using
+// only mu-guarded and atomic fields (the live processors' plain fields
+// may be in flight).
+func (e *Engine) parDumpLocked() string {
+	var b []byte
+	for _, p := range e.procs {
+		f := p.pub.Load()
+		front := fmt.Sprintf("%d", f)
+		if f == parkedPub {
+			front = "parked"
+		}
+		b = fmt.Appendf(b, "  proc %d: %s at frontier %s\n", p.id, p.state, front)
+	}
+	return string(b)
+}
+
+// EnterOrdered begins an ordered section keyed on (current frontier,
+// processor id) for the given cache line. It returns once no other
+// ordered section is running and no processor's published frontier
+// precedes this one's — i.e. when this processor is exactly the serial
+// schedulers' next pick. Sections nest (reentrant); only the outermost
+// Enter acquires. In the serial scheduling modes this is a no-op, so
+// layers above may bracket shared-state work unconditionally.
+func (p *Proc) EnterOrdered(line uint64) {
+	// Inlinable fast path: under the serial schedulers the bracket is this
+	// nil check and nothing else, so hot memory-op paths pay ~zero.
+	if p.eng.par == nil {
+		return
+	}
+	p.enterOrderedSlow(line)
+}
+
+// enterOrderedSlow is the parallel-mode body of EnterOrdered, split out
+// so the serial no-op path stays within the inlining budget.
+func (p *Proc) enterOrderedSlow(line uint64) {
+	p.parDepth++
+	if p.parDepth > 1 {
+		return
+	}
+	e := p.eng
+	p.parLine = line
+	par := e.par
+	par.mu.Lock()
+	p.enqueueLocked()
+	e.parEvalLocked()
+	par.mu.Unlock()
+	<-p.grant
+}
+
+// ExitOrdered ends the ordered section begun by the matching
+// EnterOrdered, releasing the entry token at the outermost level. In the
+// serial scheduling modes it is a no-op.
+func (p *Proc) ExitOrdered() {
+	// Inlinable fast path; see EnterOrdered.
+	if p.eng.par == nil {
+		return
+	}
+	p.exitOrderedSlow()
+}
+
+// exitOrderedSlow is the parallel-mode body of ExitOrdered.
+func (p *Proc) exitOrderedSlow() {
+	if p.parDepth == 0 {
+		panic("sim: ExitOrdered without matching EnterOrdered")
+	}
+	p.parDepth--
+	if p.parDepth > 0 {
+		return
+	}
+	e := p.eng
+	par := e.par
+	par.mu.Lock()
+	if par.running == p {
+		par.running = nil
+	}
+	e.parEvalLocked()
+	par.mu.Unlock()
+}
+
+// enqueueLocked adds p to its line's waiter shard.
+func (p *Proc) enqueueLocked() {
+	par := p.eng.par
+	s := p.parLine % OrderShards
+	p.parShard = int(s)
+	par.shards[s] = append(par.shards[s], p)
+	par.nwait.Add(1)
+}
+
+// parEvalLocked grants the ordered-entry token if possible: no section
+// may be running, and the minimum-keyed waiter must precede every other
+// processor's published frontier in (frontier, id) order. Called after
+// every event that can change eligibility (frontier publish, release,
+// block, finish, barrier arrival).
+func (e *Engine) parEvalLocked() {
+	par := e.par
+	if par.running != nil || par.nwait.Load() == 0 || e.termMsg != "" {
+		return
+	}
+	var best *Proc
+	var bestKey uint64
+	for s := range par.shards {
+		for _, w := range par.shards[s] {
+			k := w.pub.Load()
+			if best == nil || k < bestKey || (k == bestKey && w.id < best.id) {
+				best, bestKey = w, k
+			}
+		}
+	}
+	for _, q := range e.procs {
+		if q == best {
+			continue
+		}
+		qp := q.pub.Load()
+		if qp < bestKey || (qp == bestKey && q.id < best.id) {
+			return // an earlier-keyed processor is still in flight
+		}
+	}
+	// Dequeue and grant.
+	shard := par.shards[best.parShard]
+	for i, w := range shard {
+		if w == best {
+			shard[i] = shard[len(shard)-1]
+			shard[len(shard)-1] = nil
+			par.shards[best.parShard] = shard[:len(shard)-1]
+			break
+		}
+	}
+	par.nwait.Add(-1)
+	e.steps++
+	if e.steps > e.cfg.MaxSteps {
+		// Fatal diagnostic: route through the manager. Waiters stay
+		// parked (the run is over), mirroring the serial livelock path.
+		e.termMsg = "sim: step budget exhausted (livelock?)\n" + e.parDumpLocked()
+		par.signalDrained()
+		return
+	}
+	par.running = best
+	best.grant <- struct{}{}
+}
+
+// parElapse is Elapse under the parallel scheduler: fire quantum hooks
+// (inside an ordered section — they belong to the step that is ending),
+// publish the new frontier, park at the window barrier if the clock
+// crossed the window end, and — when inside an ordered section — release
+// and re-acquire the entry token so the section's next stretch occupies
+// its own (clock, id) slot.
+func (p *Proc) parElapse() {
+	e := p.eng
+	par := e.par
+	if p.quantum > 0 {
+		if p.nextQuantum == 0 {
+			p.nextQuantum = p.quantum
+		}
+		if p.now >= p.nextQuantum {
+			wrapped := false
+			if p.parDepth == 0 {
+				p.EnterOrdered(0)
+				wrapped = true
+			}
+			for p.now >= p.nextQuantum {
+				p.nextQuantum += p.quantum
+				for _, fn := range p.interruptFns {
+					fn()
+				}
+			}
+			if wrapped {
+				p.ExitOrdered()
+			}
+		}
+	}
+	if p.parDepth > 0 {
+		// Step boundary inside an ordered section.
+		par.mu.Lock()
+		if par.running == p {
+			par.running = nil
+		}
+		p.pub.Store(p.now)
+		if p.now >= par.winEnd.Load() {
+			p.arriveBarrierLocked() // unlocks, parks, returns in next window
+			par.mu.Lock()
+		}
+		p.enqueueLocked()
+		e.parEvalLocked()
+		par.mu.Unlock()
+		<-p.grant
+		return
+	}
+	// Free compute: publish, then synchronize only if the window closed
+	// or someone is waiting on an ordered grant.
+	p.pub.Store(p.now)
+	if p.now >= par.winEnd.Load() {
+		par.mu.Lock()
+		p.arriveBarrierLocked()
+		return
+	}
+	if par.nwait.Load() > 0 {
+		par.mu.Lock()
+		e.parEvalLocked()
+		par.mu.Unlock()
+	}
+	// Coarse step accounting so a lone spinning processor still trips
+	// the livelock watchdog, as on the serial fast path.
+	p.fastSkips++
+	if p.fastSkips&1023 == 0 {
+		par.mu.Lock()
+		e.steps++
+		if e.steps > e.cfg.MaxSteps && e.termMsg == "" {
+			e.termMsg = "sim: step budget exhausted (livelock?)\n" + e.parDumpLocked()
+			par.signalDrained()
+		}
+		tripped := e.termMsg != ""
+		par.mu.Unlock()
+		if tripped {
+			panic(e.termMsg)
+		}
+	}
+}
+
+// arriveBarrierLocked parks p until the manager opens a window that
+// includes p's clock. Called with par.mu held and p's new frontier
+// already published; it unlocks and blocks, returning once released.
+func (p *Proc) arriveBarrierLocked() {
+	e := p.eng
+	par := e.par
+	par.barrier = append(par.barrier, p)
+	par.live--
+	e.parEvalLocked()
+	if par.live == 0 {
+		par.signalDrained()
+	}
+	par.mu.Unlock()
+	<-p.grant
+}
+
+// parBlock is Block under the parallel scheduler. Blocking is itself an
+// ordered step (the serial schedulers order a Block against every other
+// step, so sleep/wakeup races must resolve identically here): the
+// processor acquires the ordered token, publishes a parked frontier, and
+// releases everything until a Wake re-admits it, at which point it
+// re-acquires any ordered section it was inside.
+func (p *Proc) parBlock() {
+	e := p.eng
+	par := e.par
+	wrapped := false
+	if p.parDepth == 0 {
+		p.EnterOrdered(0)
+		wrapped = true
+	}
+	par.mu.Lock()
+	p.state = Blocked
+	p.pub.Store(parkedPub)
+	if par.running == p {
+		par.running = nil
+	}
+	par.live--
+	e.parEvalLocked()
+	if par.live == 0 {
+		par.signalDrained()
+	}
+	par.mu.Unlock()
+	<-p.grant
+	// Woken: the waker (or the window manager, if the wake time fell
+	// beyond the window) has set state, clock, and frontier. Re-acquire
+	// the ordered token before resuming the interrupted section.
+	par.mu.Lock()
+	p.enqueueLocked()
+	e.parEvalLocked()
+	par.mu.Unlock()
+	<-p.grant
+	if wrapped {
+		p.ExitOrdered()
+	}
+}
+
+// parWake is Wake under the parallel scheduler: an ordered step that
+// re-admits the target at the waker's clock, either into the current
+// window or parked at the barrier when the wake time lies beyond it.
+func (p *Proc) parWake(target *Proc) {
+	e := p.eng
+	par := e.par
+	wrapped := false
+	if p.parDepth == 0 {
+		p.EnterOrdered(0)
+		wrapped = true
+	}
+	par.mu.Lock()
+	if target.state == Blocked {
+		target.state = Ready
+		if target.now < p.now {
+			target.now = p.now
+		}
+		target.pub.Store(target.now)
+		if target.now < par.winEnd.Load() {
+			par.live++
+			target.grant <- struct{}{}
+		} else {
+			par.barrier = append(par.barrier, target)
+		}
+	}
+	par.mu.Unlock()
+	if wrapped {
+		p.ExitOrdered()
+	}
+}
+
+// parFinish runs deferred on each workload goroutine under the parallel
+// scheduler: it captures a workload panic with its (clock, id) step key
+// — the manager later selects the minimum-keyed panic, reproducing the
+// serial schedulers' first-panic-in-schedule-order rule — and retires
+// the processor from the window.
+func (p *Proc) parFinish() {
+	e := p.eng
+	par := e.par
+	if r := recover(); r != nil {
+		p.panicVal = r
+		p.panicAt = p.now
+	}
+	par.mu.Lock()
+	p.state = Done
+	p.pub.Store(parkedPub)
+	p.parDepth = 0
+	e.notDone--
+	if par.running == p {
+		par.running = nil
+	}
+	if p.panicVal != nil {
+		par.aborted = true
+	}
+	par.live--
+	e.parEvalLocked()
+	if par.live == 0 {
+		par.signalDrained()
+	}
+	par.mu.Unlock()
+}

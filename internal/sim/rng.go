@@ -17,7 +17,10 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
-// Uint64 returns the next pseudo-random value.
+// Uint64 returns the next pseudo-random value. The sequence is a pure
+// function of the seed, so draw order determines the values; callers
+// sharing a Rand across processors must draw inside ordered sections
+// (machine.Machine.Rand's accessors arrange this).
 func (r *Rand) Uint64() uint64 {
 	x := r.state
 	x ^= x >> 12
@@ -27,7 +30,8 @@ func (r *Rand) Uint64() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
-// Intn returns a value in [0, n). It panics if n <= 0.
+// Intn returns a value in [0, n), consuming one Uint64 draw from the
+// seeded sequence. It panics if n <= 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive bound")
@@ -35,13 +39,15 @@ func (r *Rand) Intn(n int) int {
 	return int(r.Uint64() % uint64(n))
 }
 
-// Float64 returns a value in [0, 1).
+// Float64 returns a value in [0, 1), consuming one Uint64 draw from the
+// seeded sequence.
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Fork derives an independent generator, useful for giving each simulated
-// thread its own stream without sharing state.
+// thread its own proc-local stream without sharing state (and therefore
+// without needing ordered sections to draw).
 func (r *Rand) Fork() *Rand {
 	return NewRand(r.Uint64() ^ 0xD1B54A32D192ED03)
 }

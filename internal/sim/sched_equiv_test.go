@@ -5,41 +5,73 @@ import (
 	"testing"
 )
 
-// These tests pin the run-ahead fast path (DESIGN.md §12) to the retained
-// reference scheduler (Config.Reference): both must produce exactly the
+// These tests pin the run-ahead fast path (DESIGN.md §12) and the
+// time-windowed parallel scheduler (DESIGN.md §14) to the retained
+// reference scheduler (Config.Reference): all must produce exactly the
 // same step sequence — the interleaving of (processor, clock) pairs across
-// every scheduling point — on the same script. The engine serializes
-// execution, so workloads may append to a shared trace without locking.
+// every scheduling point — on the same script. The serial schedulers
+// serialize execution outright; under the parallel scheduler the scripts
+// bracket every shared-state action in EnterOrdered/ExitOrdered (no-ops in
+// the serial modes), which is exactly the contract the machine layers
+// follow.
 
 type step struct {
 	id  int
 	now uint64
 }
 
-func diffTraces(t *testing.T, fast, ref []step, label string) {
+// schedConfigs enumerates the scheduler implementations under test on top
+// of base. The reference scheduler is the executable specification; the
+// parallel entries include stress window widths (1 cycle forces a barrier
+// crossing at nearly every elapse) because window width must never affect
+// the schedule.
+func schedConfigs(base Config) map[string]Config {
+	ref := base
+	ref.Reference = true
+	par := base
+	par.Parallel = true
+	parW1 := par
+	parW1.WindowCycles = 1
+	parW7 := par
+	parW7.WindowCycles = 7
+	return map[string]Config{
+		"fast":        base,
+		"reference":   ref,
+		"parallel":    par,
+		"parallel-w1": parW1,
+		"parallel-w7": parW7,
+	}
+}
+
+func diffTraces(t *testing.T, got, ref []step, label string) {
 	t.Helper()
-	n := len(fast)
+	n := len(got)
 	if len(ref) < n {
 		n = len(ref)
 	}
 	for i := 0; i < n; i++ {
-		if fast[i] != ref[i] {
-			t.Fatalf("%s: schedules diverge at step %d: fast %+v, reference %+v", label, i, fast[i], ref[i])
+		if got[i] != ref[i] {
+			t.Fatalf("%s: schedules diverge at step %d: got %+v, reference %+v", label, i, got[i], ref[i])
 		}
 	}
-	if len(fast) != len(ref) {
-		t.Fatalf("%s: schedule lengths differ: fast %d, reference %d", label, len(fast), len(ref))
+	if len(got) != len(ref) {
+		t.Fatalf("%s: schedule lengths differ: got %d, reference %d", label, len(got), len(ref))
 	}
 }
 
 // TestScheduleTraceEquivalenceFixedScript drives a handcrafted script
-// through both schedulers: clock ties (ID tie-break), zero-cycle elapses,
+// through every scheduler: clock ties (ID tie-break), zero-cycle elapses,
 // a block/wake chain, and quantum-boundary crossings.
 func TestScheduleTraceEquivalenceFixedScript(t *testing.T) {
-	run := func(reference bool) []step {
-		e := New(Config{Procs: 3, Quantum: 64, Reference: reference})
+	run := func(cfg Config) []step {
+		cfg.Procs, cfg.Quantum = 3, 64
+		e := New(cfg)
 		var trace []step
-		at := func(p *Proc) { trace = append(trace, step{p.ID(), p.Now()}) }
+		at := func(p *Proc) {
+			p.EnterOrdered(0)
+			trace = append(trace, step{p.ID(), p.Now()})
+			p.ExitOrdered()
+		}
 		sleeper := e.Proc(2)
 		e.Run([]func(*Proc){
 			func(p *Proc) {
@@ -75,26 +107,31 @@ func TestScheduleTraceEquivalenceFixedScript(t *testing.T) {
 		})
 		return trace
 	}
-	diffTraces(t, run(false), run(true), "fixed script")
+	ref := run(Config{Reference: true})
+	for name, cfg := range schedConfigs(Config{}) {
+		diffTraces(t, run(cfg), ref, "fixed script/"+name)
+	}
 }
 
 // TestScheduleTraceEquivalenceRandomScripts is the property test: seeded
-// random Elapse/Block/Wake scripts must schedule identically under both
-// implementations. Blocking is only chosen when another processor is
+// random Elapse/Block/Wake scripts must schedule identically under every
+// implementation. Blocking is only chosen when another processor is
 // neither done nor blocked (so someone can deliver the wakeup), and every
-// finishing processor drains the sleeper list; both schedulers see the
+// finishing processor drains the sleeper list; all schedulers see the
 // same shared state exactly because the schedules match — any divergence
 // shows up as a trace mismatch.
 func TestScheduleTraceEquivalenceRandomScripts(t *testing.T) {
 	for _, procs := range []int{2, 3, 5, 8} {
 		for _, quantum := range []uint64{0, 97} {
 			for seed := uint64(1); seed <= 5; seed++ {
-				label := fmt.Sprintf("procs=%d quantum=%d seed=%d", procs, quantum, seed)
-				fast := runRandomScript(false, procs, quantum, seed)
-				ref := runRandomScript(true, procs, quantum, seed)
-				diffTraces(t, fast, ref, label)
-				if len(fast) != procs*scriptOps {
-					t.Fatalf("%s: trace has %d steps, want %d", label, len(fast), procs*scriptOps)
+				base := fmt.Sprintf("procs=%d quantum=%d seed=%d", procs, quantum, seed)
+				ref := runRandomScript(Config{Reference: true}, procs, quantum, seed)
+				if len(ref) != procs*scriptOps {
+					t.Fatalf("%s: trace has %d steps, want %d", base, len(ref), procs*scriptOps)
+				}
+				for name, cfg := range schedConfigs(Config{}) {
+					got := runRandomScript(cfg, procs, quantum, seed)
+					diffTraces(t, got, ref, base+"/"+name)
 				}
 			}
 		}
@@ -103,8 +140,9 @@ func TestScheduleTraceEquivalenceRandomScripts(t *testing.T) {
 
 const scriptOps = 300
 
-func runRandomScript(reference bool, procs int, quantum, seed uint64) []step {
-	e := New(Config{Procs: procs, Quantum: quantum, Reference: reference})
+func runRandomScript(cfg Config, procs int, quantum, seed uint64) []step {
+	cfg.Procs, cfg.Quantum = procs, quantum
+	e := New(cfg)
 	var trace []step
 	var sleepers []*Proc
 	active := procs // processors neither Done nor Blocked
@@ -113,9 +151,11 @@ func runRandomScript(reference bool, procs int, quantum, seed uint64) []step {
 		r := NewRand(seed + uint64(i)*1_000_003)
 		ws[i] = func(p *Proc) {
 			for op := 0; op < scriptOps; op++ {
+				p.EnterOrdered(0)
 				trace = append(trace, step{p.ID(), p.Now()})
 				switch k := r.Intn(10); {
 				case k < 6:
+					p.ExitOrdered()
 					p.Elapse(uint64(r.Intn(50))) // includes 0: exercises ID tie-breaks
 				case k < 8:
 					if len(sleepers) > 0 {
@@ -124,8 +164,10 @@ func runRandomScript(reference bool, procs int, quantum, seed uint64) []step {
 						sleepers = append(sleepers[:idx], sleepers[idx+1:]...)
 						active++
 						p.Wake(target)
+						p.ExitOrdered()
 						p.Elapse(1)
 					} else {
+						p.ExitOrdered()
 						p.Elapse(3)
 					}
 				default:
@@ -135,12 +177,15 @@ func runRandomScript(reference bool, procs int, quantum, seed uint64) []step {
 						p.Block()
 						// A waker removed us from sleepers and restored
 						// the active count before calling Wake.
+						p.ExitOrdered()
 					} else {
+						p.ExitOrdered()
 						p.Elapse(7)
 					}
 				}
 			}
 			// Strand no one: the finishing processor wakes every sleeper.
+			p.EnterOrdered(0)
 			active--
 			for len(sleepers) > 0 {
 				target := sleepers[0]
@@ -148,18 +193,19 @@ func runRandomScript(reference bool, procs int, quantum, seed uint64) []step {
 				active++
 				p.Wake(target)
 			}
+			p.ExitOrdered()
 		}
 	}
 	e.Run(ws)
 	return trace
 }
 
-// TestReferenceSchedulerMatchesSimulatedResults double-checks the cheap
-// invariants beyond the step trace: final clocks and step-visible state
-// agree between the two schedulers.
-func TestReferenceSchedulerFinalClocksMatch(t *testing.T) {
-	run := func(reference bool) []uint64 {
-		e := New(Config{Procs: 4, Quantum: 50, Reference: reference})
+// TestSchedulerFinalClocksMatch double-checks the cheap invariants beyond
+// the step trace: final clocks agree across every scheduler.
+func TestSchedulerFinalClocksMatch(t *testing.T) {
+	run := func(cfg Config) []uint64 {
+		cfg.Procs, cfg.Quantum = 4, 50
+		e := New(cfg)
 		ws := make([]func(*Proc), 4)
 		for i := range ws {
 			r := NewRand(uint64(i) + 42)
@@ -176,32 +222,31 @@ func TestReferenceSchedulerFinalClocksMatch(t *testing.T) {
 		}
 		return clocks
 	}
-	fast, ref := run(false), run(true)
-	for i := range fast {
-		if fast[i] != ref[i] {
-			t.Fatalf("proc %d final clock: fast %d, reference %d", i, fast[i], ref[i])
+	ref := run(Config{Reference: true})
+	for name, cfg := range schedConfigs(Config{}) {
+		got := run(cfg)
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("%s: proc %d final clock: got %d, reference %d", name, i, got[i], ref[i])
+			}
 		}
 	}
 }
 
-// TestTwoPanickingWorkloadsFirstWins is the regression test for the panic
-// capture rewrite: with two panicking workloads the engine must
-// deterministically re-raise the panic of whichever processor panics
-// first in schedule order, on both schedulers. Proc 1 reaches its panic
-// at cycle 5 while proc 0 is still run-ahead at cycle 10, so "B" wins.
+// TestTwoPanickingWorkloadsFirstWins is the regression test for panic
+// capture: with two panicking workloads the engine must deterministically
+// re-raise the panic of whichever processor panics first in schedule
+// order, on every scheduler. Proc 1 reaches its panic at cycle 5 while
+// proc 0 is still run-ahead at cycle 10, so "B" wins.
 func TestTwoPanickingWorkloadsFirstWins(t *testing.T) {
-	for _, reference := range []bool{false, true} {
-		name := "fast"
-		if reference {
-			name = "reference"
-		}
+	for name, cfg := range schedConfigs(Config{Procs: 2}) {
 		t.Run(name, func(t *testing.T) {
 			defer func() {
 				if r := recover(); r != "B" {
 					t.Fatalf("recovered %v, want the first-scheduled panic \"B\"", r)
 				}
 			}()
-			e := New(Config{Procs: 2, Reference: reference})
+			e := New(cfg)
 			e.Run([]func(*Proc){
 				func(p *Proc) { p.Elapse(10); panic("A") },
 				func(p *Proc) { p.Elapse(5); panic("B") },
@@ -213,14 +258,14 @@ func TestTwoPanickingWorkloadsFirstWins(t *testing.T) {
 // TestPanicBeforeFirstElapse covers a workload that panics without ever
 // reaching a scheduling point.
 func TestPanicBeforeFirstElapse(t *testing.T) {
-	for _, reference := range []bool{false, true} {
+	for name, cfg := range schedConfigs(Config{Procs: 2}) {
 		func() {
 			defer func() {
 				if r := recover(); r != "immediately" {
-					t.Fatalf("reference=%v: recovered %v", reference, r)
+					t.Fatalf("%s: recovered %v", name, r)
 				}
 			}()
-			e := New(Config{Procs: 2, Reference: reference})
+			e := New(cfg)
 			e.Run([]func(*Proc){
 				func(p *Proc) { panic("immediately") },
 				func(p *Proc) { p.Elapse(1) },
@@ -229,31 +274,37 @@ func TestPanicBeforeFirstElapse(t *testing.T) {
 	}
 }
 
-// TestReferenceSchedulerDeadlockAndLivelock pins the diagnostic panics on
-// the reference path too.
-func TestReferenceSchedulerDeadlockAndLivelock(t *testing.T) {
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("expected deadlock panic")
-			}
+// TestSchedulerDeadlockAndLivelock pins the diagnostic panics on every
+// scheduler.
+func TestSchedulerDeadlockAndLivelock(t *testing.T) {
+	for name, cfg := range schedConfigs(Config{}) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected deadlock panic", name)
+				}
+			}()
+			c := cfg
+			c.Procs = 2
+			e := New(c)
+			e.Run([]func(*Proc){func(p *Proc) { p.Block() }, func(p *Proc) { p.Block() }})
 		}()
-		e := New(Config{Procs: 2, Reference: true})
-		e.Run([]func(*Proc){func(p *Proc) { p.Block() }, func(p *Proc) { p.Block() }})
-	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("expected livelock panic")
-			}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected livelock panic", name)
+				}
+			}()
+			c := cfg
+			c.Procs, c.MaxSteps = 1, 100
+			e := New(c)
+			e.Run([]func(*Proc){func(p *Proc) {
+				for {
+					p.Elapse(1)
+				}
+			}})
 		}()
-		e := New(Config{Procs: 1, MaxSteps: 100, Reference: true})
-		e.Run([]func(*Proc){func(p *Proc) {
-			for {
-				p.Elapse(1)
-			}
-		}})
-	}()
+	}
 }
 
 // TestLoneSpinnerTripsWatchdogOnFastPath: a single runnable processor

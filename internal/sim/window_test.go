@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Window-boundary edge cases for the parallel scheduler (DESIGN.md §14).
+// Each table entry runs a script whose critical event lands on or around
+// a window boundary and checks the schedule is bit-identical to the
+// reference scheduler for window widths that put the boundary exactly on,
+// just before, and just after the event.
+
+func TestWindowBoundaryEdgeCases(t *testing.T) {
+	type tc struct {
+		name    string
+		windows []uint64 // widths to stress; all must match the reference
+		script  func(e *Engine, trace *[]step) []func(*Proc)
+	}
+	record := func(trace *[]step) func(p *Proc) {
+		return func(p *Proc) {
+			p.EnterOrdered(0)
+			*trace = append(*trace, step{p.ID(), p.Now()})
+			p.ExitOrdered()
+		}
+	}
+	cases := []tc{
+		{
+			// A processor's next event lands exactly on the window end
+			// (clock == base+W): it must park and resume in the next
+			// window without perturbing the schedule.
+			name:    "event exactly on window end",
+			windows: []uint64{10, 20, 21, 19},
+			script: func(e *Engine, trace *[]step) []func(*Proc) {
+				at := record(trace)
+				return []func(*Proc){
+					func(p *Proc) {
+						at(p)
+						p.Elapse(10) // == end for W=10, mid-window otherwise
+						at(p)
+						p.Elapse(10) // == end for W=10 (second window) and W=20
+						at(p)
+					},
+					func(p *Proc) {
+						at(p)
+						p.Elapse(9)
+						at(p)
+						p.Elapse(12)
+						at(p)
+					},
+				}
+			},
+		},
+		{
+			// A wakeup delivered in the same cycle the window closes: the
+			// waker reaches the window-end cycle, wakes the sleeper at
+			// exactly base+W, and the sleeper must be parked into the
+			// next window (its wake time is outside the current one).
+			name:    "wake lands on window close",
+			windows: []uint64{10, 11, 9},
+			script: func(e *Engine, trace *[]step) []func(*Proc) {
+				at := record(trace)
+				sleeper := e.Proc(1)
+				return []func(*Proc){
+					func(p *Proc) {
+						at(p)
+						p.Elapse(10) // reaches the W=10 boundary exactly
+						at(p)
+						p.Wake(sleeper) // wake time == window close for W=10
+						p.Elapse(5)
+						at(p)
+					},
+					func(p *Proc) {
+						at(p)
+						p.Block()
+						at(p)
+						p.Elapse(2)
+						at(p)
+					},
+				}
+			},
+		},
+		{
+			// A shared-state "kill" written in the same cycle another
+			// processor's window-closing step reads it: proc 0 sets a
+			// flag at cycle 10 (== window end), proc 1 checks it at the
+			// same cycle; the (cycle, id) order must decide, not the
+			// host-side window close.
+			name:    "shared write at window-close cycle",
+			windows: []uint64{10, 5, 13},
+			script: func(e *Engine, trace *[]step) []func(*Proc) {
+				at := record(trace)
+				var killed int
+				return []func(*Proc){
+					func(p *Proc) {
+						p.Elapse(10)
+						p.EnterOrdered(7)
+						killed = 1 // id 0 writes first at cycle 10
+						p.ExitOrdered()
+						at(p)
+						p.Elapse(1)
+					},
+					func(p *Proc) {
+						p.Elapse(10)
+						p.EnterOrdered(7)
+						*trace = append(*trace, step{100 + killed, p.Now()})
+						p.ExitOrdered()
+						at(p)
+						p.Elapse(1)
+					},
+				}
+			},
+		},
+		{
+			// Blocked processors straddling a window close: the window
+			// drains because everyone else parked, and the blocked
+			// processor is woken into a later window.
+			name:    "sleeper survives window turnover",
+			windows: []uint64{3, 50},
+			script: func(e *Engine, trace *[]step) []func(*Proc) {
+				at := record(trace)
+				sleeper := e.Proc(1)
+				return []func(*Proc){
+					func(p *Proc) {
+						at(p)
+						p.Elapse(40) // several W=3 windows turn over while 1 sleeps
+						at(p)
+						p.Wake(sleeper)
+						p.Elapse(1)
+						at(p)
+					},
+					func(p *Proc) {
+						at(p)
+						p.Block()
+						at(p)
+					},
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			run := func(cfg Config) []step {
+				cfg.Procs = 2
+				e := New(cfg)
+				var trace []step
+				e.Run(c.script(e, &trace))
+				return trace
+			}
+			ref := run(Config{Reference: true})
+			for _, w := range c.windows {
+				got := run(Config{Parallel: true, WindowCycles: w})
+				diffTraces(t, got, ref, c.name)
+			}
+		})
+	}
+}
+
+// TestEmptyWindowAllBlocked: when every unfinished processor is blocked
+// at a window boundary there is no next window to open — the manager
+// must raise the deadlock diagnostic, matching the serial schedulers.
+func TestEmptyWindowAllBlocked(t *testing.T) {
+	for _, w := range []uint64{1, 10, DefaultWindowCycles} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("window=%d: expected deadlock panic", w)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "deadlock") {
+					t.Fatalf("window=%d: panic %v, want deadlock diagnostic", w, r)
+				}
+			}()
+			e := New(Config{Procs: 3, Parallel: true, WindowCycles: w})
+			e.Run([]func(*Proc){
+				func(p *Proc) { p.Elapse(2); p.Block() },
+				func(p *Proc) { p.Elapse(5); p.Block() },
+				func(p *Proc) { p.Elapse(9); p.Block() },
+			})
+		}()
+	}
+}
+
+// TestParallelExactWindowMultipleRuns re-runs one script many times under
+// the parallel scheduler: host-side goroutine scheduling varies between
+// runs, simulated results must not.
+func TestParallelExactWindowMultipleRuns(t *testing.T) {
+	ref := runRandomScript(Config{Reference: true}, 4, 33, 7)
+	for i := 0; i < 25; i++ {
+		got := runRandomScript(Config{Parallel: true, WindowCycles: 33}, 4, 33, 7)
+		diffTraces(t, got, ref, "repeat run")
+	}
+}
