@@ -26,6 +26,7 @@ type config struct {
 	parallel     int
 	progress     bool
 	metricsOut   string
+	txstatsOut   string
 
 	traceOut      string
 	traceFormat   string
@@ -50,7 +51,7 @@ type config struct {
 // knownExperiments are the -experiment values main dispatches on.
 var knownExperiments = []string{
 	"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended",
-	"footprints", "policies", "litmus", "scale", "all",
+	"footprints", "policies", "litmus", "latency", "scale", "all",
 }
 
 // parseConfig parses argv (without the program name), records which
@@ -60,7 +61,7 @@ func parseConfig(args []string, errOut io.Writer) (*config, error) {
 	cfg := &config{}
 	fs := flag.NewFlagSet("tmsim", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	fs.StringVar(&cfg.experiment, "experiment", "all", "fig5 | fig6 | fig7 | fig8 | ablate | extended | footprints | policies | litmus | scale | params | all")
+	fs.StringVar(&cfg.experiment, "experiment", "all", "fig5 | fig6 | fig7 | fig8 | ablate | extended | footprints | policies | litmus | latency | scale | params | all")
 	fs.StringVar(&cfg.scaleName, "scale", "full", "small | full")
 	fs.StringVar(&cfg.policy, "policy", "exp", "contention-management policy: exp | linear | karma | serialize")
 	fs.StringVar(&cfg.sched, "sched", "fast", "engine scheduler: fast | reference | parallel (results are bit-identical; only wall clock differs)")
@@ -71,6 +72,7 @@ func parseConfig(args []string, errOut io.Writer) (*config, error) {
 	fs.IntVar(&cfg.parallel, "parallel", 0, "sweep worker count (0 = one per CPU, 1 = serial)")
 	fs.BoolVar(&cfg.progress, "progress", false, "report sweep progress (cells done/total, ETA) on stderr")
 	fs.StringVar(&cfg.metricsOut, "metrics-out", "", "write per-cell + aggregate metrics JSON to this file")
+	fs.StringVar(&cfg.txstatsOut, "txstats-out", "", "write the per-transaction lifecycle (txstats) report as JSON to this file")
 	fs.StringVar(&cfg.traceOut, "trace-out", "", "run one traced cell and write its machine trace to this file (skips experiments)")
 	fs.StringVar(&cfg.traceFormat, "trace-format", "text", "trace export format: text | jsonl | chrome")
 	fs.StringVar(&cfg.traceWorkload, "trace-workload", "genome", "workload for the traced cell")

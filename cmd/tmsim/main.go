@@ -9,10 +9,12 @@
 //	tmsim -experiment extended # extension workloads beyond the paper (ssca2, intruder, labyrinth)
 //	tmsim -experiment policies # contention-management policy ablation
 //	tmsim -experiment litmus # strong-atomicity litmus conformance matrix
+//	tmsim -experiment latency # per-transaction latency percentiles and
+//	                          # wasted-work attribution over the fig5 sweep
 //	tmsim -experiment scale  # scaling study: scalemix at 64/128/256 simulated processors
 //	tmsim -experiment params # Table 4: simulation parameters
-//	tmsim -experiment all    # everything above except scale (which is a
-//	                         # host-scaling study, not a paper artifact)
+//	tmsim -experiment all    # everything above except latency and scale
+//	                         # (supplements, not paper artifacts)
 //
 // -scale small runs quick versions; -scale full (default) runs the sizes
 // recorded in EXPERIMENTS.md. Runs are deterministic for a given -seed.
@@ -54,6 +56,13 @@
 //	    or plain text (-report json|html|text; -contention-topk,
 //	    -timeseries-window tune the profile). Byte-identical for every
 //	    -parallel value.
+//	tmsim -experiment latency -txstats-out lat.json
+//	    also writes every cell's transaction-lifecycle report — latency
+//	    percentiles in simulated cycles, retries-to-commit, wasted-work
+//	    breakdown by abort reason and execution path, per-aggressor
+//	    wasted-cycle attribution — plus the deterministic aggregate as
+//	    JSON (byte-identical for every -parallel value). -txstats-out
+//	    composes with any experiment and with -trace-out.
 //	tmsim -trace-out t.json -trace-format chrome [-trace-workload genome
 //	      -trace-system ufo-hybrid -trace-threads 4]
 //	    runs that single cell with machine tracing and exports the trace
@@ -116,6 +125,9 @@ func main() {
 		opt.ContentionTopK = cfg.contentionTopK
 		opt.TimeSeriesWindow = cfg.timeseriesWindow
 	}
+	if cfg.txstatsOut != "" {
+		opt.TxStats = true
+	}
 
 	runner := harness.Parallel(cfg.parallel)
 	if cfg.progress {
@@ -136,12 +148,16 @@ func main() {
 
 	var mrep harness.MetricsReport
 	var crep harness.ContentionReport
+	var trep harness.TxStatsReport
 	var collectors []func(harness.Job, harness.Result)
 	if cfg.metricsOut != "" {
 		collectors = append(collectors, mrep.Collector())
 	}
 	if cfg.contentionOut != "" {
 		collectors = append(collectors, crep.Collector())
+	}
+	if cfg.txstatsOut != "" {
+		collectors = append(collectors, trep.Collector())
 	}
 	if len(collectors) > 0 {
 		runner.Collect = func(j harness.Job, r harness.Result) {
@@ -201,6 +217,10 @@ func main() {
 			rows, err := runner.PolicySweep(opt, scale)
 			harness.PrintPolicySweep(os.Stdout, rows)
 			fail(err)
+		case "latency":
+			data, err := runner.Latency(opt, scale)
+			harness.PrintLatency(os.Stdout, data, scale)
+			fail(err)
 		case "scale":
 			d, err := runner.ScaleSweep(opt, scale)
 			harness.PrintScaleSweep(os.Stdout, d, scale)
@@ -246,6 +266,13 @@ func main() {
 		fail(writeContention(&crep, cfg))
 		fmt.Printf("  [contention report (%s) for %d cells written to %s]\n",
 			cfg.reportFormat, len(crep.Cells), cfg.contentionOut)
+	}
+	if cfg.txstatsOut != "" {
+		f, err := os.Create(cfg.txstatsOut)
+		fail(err)
+		fail(trep.WriteJSON(f))
+		fail(f.Close())
+		fmt.Printf("  [txstats report for %d cells written to %s]\n", len(trep.Cells), cfg.txstatsOut)
 	}
 	stopProfiles()
 }
@@ -387,6 +414,22 @@ func runTraced(opt harness.Options, scale harness.Scale, cfg *config) error {
 			return err
 		}
 		fmt.Printf("  [contention report (%s) written to %s]\n", cfg.reportFormat, cfg.contentionOut)
+	}
+	if cfg.txstatsOut != "" {
+		var rep harness.TxStatsReport
+		rep.Collector()(harness.Job{}, res)
+		tf, err := os.Create(cfg.txstatsOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  [txstats report written to %s]\n", cfg.txstatsOut)
 	}
 	return nil
 }

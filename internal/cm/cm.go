@@ -418,6 +418,7 @@ func (m *Manager) OnAbort(p *machine.Proc, age uint64, attempt int, reason machi
 		m.stats.MaxDelay = d
 	}
 	p.Elapse(d)
+	p.TxLifeBackoff(d)
 	return EscalateNone
 }
 
@@ -427,6 +428,7 @@ func (m *Manager) OnAbort(p *machine.Proc, age uint64, attempt int, reason machi
 func (m *Manager) PageFaultStall(p *machine.Proc) {
 	m.stats.PageFaultStalls++
 	p.Elapse(PageFaultStallCycles)
+	p.TxLifeBackoff(PageFaultStallCycles)
 }
 
 // RetryPoll charges one poll interval of emulated transactional waiting
@@ -468,6 +470,7 @@ func (m *Manager) TxDone(owner uint64) {
 func (m *Manager) Register(reg *obs.Registry) {
 	reg.Counter("cm.delays", "delays", "backoff delays issued by the contention-management policy").Add(m.stats.Delays)
 	reg.Counter("cm.delay_cycles", "cycles", "total cycles spent in contention backoff").Add(m.stats.DelayCycles)
+	reg.MaxGauge("cm.max_delay", "cycles", "largest single backoff delay issued (merges by max)").Set(float64(m.stats.MaxDelay))
 	reg.Counter("cm.page_fault_stalls", "stalls", "page-fault resolution stalls (fixed cost, not contention)").Add(m.stats.PageFaultStalls)
 	reg.Counter("cm.retry_polls", "polls", "emulated transactional-waiting poll sleeps").Add(m.stats.RetryPolls)
 	reg.Counter("cm.starvation_escalations", "escalations", "aborts the policy escalated instead of backing off").Add(m.stats.StarvationEscalations)

@@ -164,17 +164,22 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 	age := e.s.m.NextAge()
 	stats := e.s.Stats()
 	cmgr := e.s.CM()
+	p := e.Proc()
+	p.TxLifeBegin()
 	conflictAborts := 0
 	totalAborts := 0
 	for {
+		p.TxLifeAttempt(machine.PathHTM)
 		reason, committed := e.tryHW(age, body)
 		if committed {
 			stats.HWCommits++
+			p.TxLifeCommit(machine.PathHTM)
 			cmgr.TxDone(age)
 			e.wakeRetriers()
 			e.runDeferred()
 			return
 		}
+		p.TxLifeAbort(machine.PathHTM, reason)
 		// The BTM abort handler (Algorithm 3).
 		switch reason {
 		case machine.AbortOverflow, machine.AbortSyscall, machine.AbortIO,

@@ -40,3 +40,16 @@ func BenchmarkFigure5SweepContention(b *testing.B) {
 		figure5SweepCells(b, opt)
 	}
 }
+
+// BenchmarkFigure5SweepTxstats measures the sweep with per-transaction
+// lifecycle accounting enabled, bounding what -txstats-out costs. The
+// CI perf gate compares BenchmarkFigure5Sweep (recorder absent, TxLife
+// hooks on the nil fast path) against the committed baseline, which is
+// what enforces the ≤2% disabled-path budget.
+func BenchmarkFigure5SweepTxstats(b *testing.B) {
+	opt := txstatsOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		figure5SweepCells(b, opt)
+	}
+}

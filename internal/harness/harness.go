@@ -19,6 +19,7 @@ import (
 	"repro/internal/stamp"
 	"repro/internal/tl2"
 	"repro/internal/tm"
+	"repro/internal/txstats"
 	"repro/internal/unbounded"
 	"repro/internal/ustm"
 )
@@ -79,6 +80,12 @@ type Options struct {
 	// TimeSeriesWindow is the contention time-series window width in
 	// simulated cycles; 0 disables the time series.
 	TimeSeriesWindow uint64
+	// TxStats enables per-transaction lifecycle accounting: a
+	// txstats.Recorder is attached to the machine and its frozen Report
+	// returned in the Result (and its headline totals registered as
+	// txstats.* metrics). Attaching the recorder never changes simulated
+	// cycles — the hooks observe the run without perturbing it.
+	TxStats bool
 }
 
 // DefaultOptions returns the evaluation configuration.
@@ -145,7 +152,10 @@ type Result struct {
 	// Contention is the cell's conflict-attribution report; non-nil when
 	// Options.Contention is set.
 	Contention *contention.Report
-	Err        error // non-nil if the workload invariant failed
+	// TxStats is the cell's transaction-lifecycle report; non-nil when
+	// Options.TxStats is set.
+	TxStats *txstats.Report
+	Err     error // non-nil if the workload invariant failed
 }
 
 // Speedup returns base/those cycles.
@@ -170,6 +180,11 @@ func Run(kind SystemKind, wl stamp.Workload, threads int, opt Options) Result {
 	if opt.Contention {
 		prof = contention.New(threads, opt.TimeSeriesWindow)
 		m.SetConflictRecorder(prof)
+	}
+	var txrec *txstats.Recorder
+	if opt.TxStats {
+		txrec = txstats.New(threads)
+		m.SetTxRecorder(txrec)
 	}
 	sys := Build(kind, m, opt)
 	wl.Init(m, threads)
@@ -211,6 +226,10 @@ func Run(kind SystemKind, wl stamp.Workload, threads int, opt Options) Result {
 				TokenAcquisitions:     st.TokenAcquisitions,
 			}
 		}
+	}
+	if txrec != nil {
+		txrec.Register(reg)
+		res.TxStats = txrec.Report()
 	}
 	res.Metrics = reg.Snapshot()
 	return res

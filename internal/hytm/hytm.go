@@ -111,18 +111,23 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 	age := e.s.m.NextAge()
 	stats := e.s.Stats()
 	cmgr := e.s.CM()
+	p := e.Proc()
+	p.TxLifeBegin()
 	conflicts := 0
 	aborts := 0
 	for {
+		p.TxLifeAttempt(machine.PathHTM)
 		reason, committed := e.tryHW(age, body)
 		if committed {
 			stats.HWCommits++
+			p.TxLifeCommit(machine.PathHTM)
 			cmgr.TxDone(age)
 			for _, f := range e.onCommit {
 				f()
 			}
 			return
 		}
+		p.TxLifeAbort(machine.PathHTM, reason)
 		switch reason {
 		case machine.AbortOverflow, machine.AbortSyscall, machine.AbortIO,
 			machine.AbortException, machine.AbortNesting:

@@ -256,6 +256,93 @@ func (m *Machine) SetConflictRecorder(r ConflictRecorder) { m.rec = r }
 // attachment is fixed before Run, so the read needs no ordered section.
 func (m *Machine) ConflictRecorder() ConflictRecorder { return m.rec }
 
+// TxPath classifies the execution mode of one transaction attempt for
+// lifecycle accounting: the hardware fast path, the strongly-atomic
+// software path (UFO-protected USTM), the weakly-atomic software path,
+// or a serialized fallback (token holder, global lock, SLE real lock).
+type TxPath uint8
+
+// The attempt paths.
+const (
+	// PathHTM: a hardware (BTM / unbounded / elided) attempt.
+	PathHTM TxPath = iota
+	// PathUFO: a software attempt under UFO strong atomicity (§4).
+	PathUFO
+	// PathSW: a weakly-atomic software attempt (USTM without UFO, TL2,
+	// the HyTM/PhTM software halves).
+	PathSW
+	// PathFallback: a serialized attempt — commit-token holder, global
+	// lock, or SLE's real lock acquisition.
+	PathFallback
+	// NumTxPaths sizes per-path arrays.
+	NumTxPaths = iota
+)
+
+var txPathNames = []string{"htm", "ufo", "sw", "fallback"}
+
+// String returns the path name used in reports and trace exports.
+func (p TxPath) String() string {
+	if int(p) < len(txPathNames) {
+		return txPathNames[p]
+	}
+	return fmt.Sprintf("TxPath(%d)", uint8(p))
+}
+
+// TxPathByName maps a report name back to its TxPath; ok is false for
+// unknown names.
+func TxPathByName(name string) (TxPath, bool) {
+	for i, n := range txPathNames {
+		if n == name {
+			return TxPath(i), true
+		}
+	}
+	return 0, false
+}
+
+// TxRecorder receives per-transaction lifecycle events from the TM
+// systems running on the machine (via the Proc.TxLife* hooks).
+// Implementations must be cheap and need no locking: the hooks bracket
+// every call in an ordered section, so a recorder observes events in
+// the deterministic schedule order under every scheduler.
+// internal/txstats provides the standard implementation; the machine
+// only defines the interface so the dependency points outward.
+type TxRecorder interface {
+	// TxBegin marks the start of one logical transaction (an Atomic
+	// call) on proc at the given cycle.
+	TxBegin(proc int, cycle uint64)
+	// TxAttempt marks the start of one attempt on the given path.
+	TxAttempt(proc int, path TxPath, cycle uint64)
+	// TxAbort marks a failed attempt: the attempt started by the last
+	// TxAttempt on proc ended at cycle for the given reason.
+	TxAbort(proc int, path TxPath, reason AbortReason, cycle uint64)
+	// TxRetryWait marks a Retry suspension (§6): the current attempt
+	// undoes itself and the processor waits to be woken. Cycles from the
+	// last TxAttempt until the next TxAttempt count as retry waiting.
+	TxRetryWait(proc int, cycle uint64)
+	// TxBackoff reports cycles spent in a contention-management delay
+	// between attempts.
+	TxBackoff(proc int, cycles uint64)
+	// TxCommit marks the successful end of the transaction; path is the
+	// path of the committing attempt.
+	TxCommit(proc int, path TxPath, cycle uint64)
+	// TxConflict reports that victim's in-flight attempt was killed by
+	// aggressor (-1 unknown); it fires alongside the ConflictRecorder
+	// edge so the next TxAbort can charge its wasted cycles to the
+	// aggressor.
+	TxConflict(victim, aggressor int)
+}
+
+// SetTxRecorder attaches (or with nil detaches) a per-transaction
+// lifecycle recorder. Recording costs one nil check per lifecycle hook
+// when detached. Attach before Run; the hooks then invoke the recorder
+// from inside ordered sections, so it observes events in the
+// deterministic schedule order without locking.
+func (m *Machine) SetTxRecorder(r TxRecorder) { m.txrec = r }
+
+// TxRecorder returns the attached lifecycle recorder, or nil. The
+// attachment is fixed before Run, so the read needs no ordered section.
+func (m *Machine) TxRecorder() TxRecorder { return m.txrec }
+
 // Counters aggregates machine-level event counts.
 type Counters struct {
 	HWAbortsByReason [NumAbortReasons]uint64
@@ -291,6 +378,7 @@ type Machine struct {
 	trace *Trace
 	sinks []TraceSink
 	rec   ConflictRecorder
+	txrec TxRecorder
 }
 
 // New builds a machine from params. All state derives from params (the

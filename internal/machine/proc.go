@@ -275,6 +275,9 @@ func (p *Proc) RecordSWKill(victim *Proc, reason AbortReason, addr uint64, hasAd
 			Reason: reason, Cycle: p.Now(),
 		})
 	}
+	if p.m.txrec != nil {
+		p.m.txrec.TxConflict(victim.ID(), p.ID())
+	}
 }
 
 // RecordSWAbortBy notes that p's own software transaction aborted because
@@ -291,6 +294,9 @@ func (p *Proc) RecordSWAbortBy(aggressor int, reason AbortReason, addr uint64, h
 			Addr: addr, HasAddr: hasAddr, SW: true,
 			Reason: reason, Cycle: p.Now(),
 		})
+	}
+	if p.m.txrec != nil {
+		p.m.txrec.TxConflict(p.ID(), aggressor)
 	}
 }
 
@@ -338,15 +344,18 @@ func (p *Proc) killHWFrom(aggressor int, victim *Proc, reason AbortReason, addr 
 	if t == nil || t.pendingAbort != AbortNone {
 		return
 	}
+	if aggressor < 0 {
+		aggressor = victim.ID()
+	}
 	if p.m.rec != nil {
-		if aggressor < 0 {
-			aggressor = victim.ID()
-		}
 		p.m.rec.RecordEdge(ConflictEdge{
 			Aggressor: aggressor, Victim: victim.ID(),
 			Addr: addr, HasAddr: hasAddr,
 			Reason: reason, Cycle: p.Now(),
 		})
+	}
+	if p.m.txrec != nil {
+		p.m.txrec.TxConflict(victim.ID(), aggressor)
 	}
 	t.pendingAbort = reason
 	t.abortAddr = addr

@@ -21,11 +21,18 @@ const (
 	TraceNack
 	TraceBlock
 	TraceWake
+	// TraceTxBegin and TraceTxCommit bracket one logical transaction (an
+	// Atomic call spanning every attempt); the Chrome sink turns the pair
+	// into a per-transaction span. TraceTxCommit carries the committing
+	// path (TxPath) in the Age field with FlagPath set.
+	TraceTxBegin
+	TraceTxCommit
 )
 
 var traceKindNames = []string{
 	"hw-begin", "hw-commit", "hw-abort", "sw-begin", "sw-commit",
 	"sw-abort", "ufo-set", "ufo-fault", "nack", "block", "wake",
+	"tx-begin", "tx-commit",
 }
 
 // String returns the trace-kind name used in text exports.
@@ -48,6 +55,8 @@ const (
 	FlagAddr TraceFlags = 1 << iota
 	// FlagAge: the Age field is meaningful.
 	FlagAge
+	// FlagPath: the Age field carries a TxPath (tx-commit events).
+	FlagPath
 )
 
 // TraceEvent is one recorded event.
@@ -67,6 +76,9 @@ func (e TraceEvent) HasAddr() bool { return e.Flags&FlagAddr != 0 }
 // HasAge reports whether Age carries a real transaction age.
 func (e TraceEvent) HasAge() bool { return e.Flags&FlagAge != 0 }
 
+// HasPath reports whether Age carries a TxPath (tx-commit events).
+func (e TraceEvent) HasPath() bool { return e.Flags&FlagPath != 0 }
+
 // String formats the event as one line of the text trace.
 func (e TraceEvent) String() string {
 	s := fmt.Sprintf("%10d  p%-2d %-9s", e.Cycle, e.Proc, e.Kind)
@@ -79,6 +91,9 @@ func (e TraceEvent) String() string {
 	}
 	if e.HasAge() {
 		s += fmt.Sprintf(" age=%d", e.Age)
+	}
+	if e.HasPath() {
+		s += fmt.Sprintf(" path=%s", TxPath(e.Age))
 	}
 	return s
 }

@@ -112,6 +112,10 @@ func (s *JSONLSink) Event(e TraceEvent) {
 		buf = append(buf, `,"age":`...)
 		buf = strconv.AppendUint(buf, e.Age, 10)
 	}
+	if e.HasPath() {
+		buf = append(buf, `,"path":`...)
+		buf = strconv.AppendQuote(buf, TxPath(e.Age).String())
+	}
 	buf = append(buf, '}', '\n')
 	_, s.err = s.w.Write(buf)
 }
@@ -126,11 +130,41 @@ func (s *JSONLSink) Close() error {
 
 // --- Chrome trace_event sink ---
 
-// chromeOpen tracks an in-flight transaction on one simulated processor.
+// chromeOpen tracks an in-flight transaction attempt on one simulated
+// processor.
 type chromeOpen struct {
 	begin uint64
 	age   uint64
 	hw    bool
+}
+
+// chromeTx tracks an in-flight logical transaction (tx-begin → tx-commit)
+// on one simulated processor: its start cycle, how many attempts it has
+// made, and the abort reasons it accumulated along the way.
+type chromeTx struct {
+	begin    uint64
+	attempts uint64
+	aborts   [NumAbortReasons]uint64
+}
+
+// args renders the tx span's args object (attempt count, committing
+// path, and per-reason abort counts in declaration order).
+func (t *chromeTx) args(path string) string {
+	args := fmt.Sprintf(`"path":%q,"attempts":%d`, path, t.attempts)
+	aborts := ""
+	for r := 1; r < NumAbortReasons; r++ {
+		if t.aborts[r] == 0 {
+			continue
+		}
+		if aborts != "" {
+			aborts += ","
+		}
+		aborts += fmt.Sprintf(`%q:%d`, AbortReason(r).String(), t.aborts[r])
+	}
+	if aborts != "" {
+		args += fmt.Sprintf(`,"aborts":{%s}`, aborts)
+	}
+	return args
 }
 
 // ChromeSink writes the Chrome trace_event JSON format (loadable in
@@ -139,7 +173,11 @@ type chromeOpen struct {
 //
 //   - HW and SW transaction lifetimes become complete ("X") duration
 //     events named "hw-tx" / "sw-tx", spanning begin → commit/abort, with
-//     the age, outcome, abort reason, and conflict address in args; and
+//     the age, outcome, abort reason, and conflict address in args;
+//   - tx-begin/tx-commit pairs (the Proc.TxLife* lifecycle hooks) become
+//     enclosing per-transaction "tx" spans — begin through every aborted
+//     attempt to the final commit — with the committing path, the attempt
+//     count, and per-reason abort counts in args; and
 //   - ufo-set, ufo-fault, nack, block, and wake become thread-scoped
 //     instant ("i") events.
 //
@@ -152,6 +190,7 @@ type ChromeSink struct {
 	err   error
 	wrote bool // at least one event emitted
 	open  map[int]chromeOpen
+	tx    map[int]*chromeTx
 	named map[int]bool
 }
 
@@ -160,6 +199,7 @@ func NewChromeSink(w io.Writer) *ChromeSink {
 	return &ChromeSink{
 		w:     bufio.NewWriter(w),
 		open:  make(map[int]chromeOpen),
+		tx:    make(map[int]*chromeTx),
 		named: make(map[int]bool),
 	}
 }
@@ -218,10 +258,16 @@ func (s *ChromeSink) Event(e TraceEvent) {
 			s.closeSpan(e.Proc, prev, e.Cycle, `"outcome":"truncated"`)
 		}
 		s.open[e.Proc] = chromeOpen{begin: e.Cycle, age: e.Age, hw: e.Kind == TraceHWBegin}
+		if tx, ok := s.tx[e.Proc]; ok {
+			tx.attempts++
+		}
 	case TraceHWCommit, TraceSWCommit, TraceHWAbort, TraceSWAbort:
 		outcome := "commit"
 		if e.Kind == TraceHWAbort || e.Kind == TraceSWAbort {
 			outcome = "abort"
+			if tx, ok := s.tx[e.Proc]; ok && int(e.Reason) < NumAbortReasons {
+				tx.aborts[e.Reason]++
+			}
 		}
 		open, ok := s.open[e.Proc]
 		if !ok {
@@ -231,9 +277,31 @@ func (s *ChromeSink) Event(e TraceEvent) {
 		}
 		delete(s.open, e.Proc)
 		s.closeSpan(e.Proc, open, e.Cycle, txArgs(e, open, outcome))
+	case TraceTxBegin:
+		// A tx-begin while a tx span is open means its commit was lost
+		// (ring eviction); close it at this cycle.
+		if prev, ok := s.tx[e.Proc]; ok {
+			s.closeTx(e.Proc, prev, e.Cycle, "truncated")
+		}
+		s.tx[e.Proc] = &chromeTx{begin: e.Cycle}
+	case TraceTxCommit:
+		tx, ok := s.tx[e.Proc]
+		if !ok {
+			// tx-begin evicted from the ring: keep the event as an instant.
+			s.instant(e)
+			return
+		}
+		delete(s.tx, e.Proc)
+		s.closeTx(e.Proc, tx, e.Cycle, TxPath(e.Age).String())
 	default:
 		s.instant(e)
 	}
+}
+
+// closeTx emits the enclosing per-transaction ("tx") span.
+func (s *ChromeSink) closeTx(proc int, tx *chromeTx, end uint64, path string) {
+	s.emit(fmt.Sprintf(`{"name":"tx","ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"args":{%s}}`,
+		proc, tx.begin, end-tx.begin, tx.args(path)))
 }
 
 // closeSpan emits a complete ("X") event for a transaction span.
@@ -280,6 +348,14 @@ func (s *ChromeSink) Close() error {
 	for _, p := range procs {
 		open := s.open[p]
 		s.closeSpan(p, open, open.begin, `"outcome":"truncated"`)
+	}
+	procs = procs[:0]
+	for p := range s.tx {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		s.closeTx(p, s.tx[p], s.tx[p].begin, "truncated")
 	}
 	if s.err == nil {
 		if !s.wrote {

@@ -117,6 +117,112 @@ func TestChromeSinkGolden(t *testing.T) {
 	checkGolden(t, "trace.chrome.golden.json", buf.Bytes())
 }
 
+// TestChromeSinkTxSpans: tx-begin/tx-commit lifecycle events become
+// enclosing "tx" spans carrying the committing path, the attempt count,
+// and per-reason abort counts; a tx left open at Close flushes as
+// truncated.
+func TestChromeSinkTxSpans(t *testing.T) {
+	events := []TraceEvent{
+		{Cycle: 5, Proc: 0, Kind: TraceTxBegin},
+		{Cycle: 6, Proc: 0, Kind: TraceHWBegin, Age: 1, Flags: FlagAge},
+		{Cycle: 14, Proc: 0, Kind: TraceHWAbort, Reason: AbortConflict, Age: 1, Flags: FlagAge},
+		{Cycle: 20, Proc: 0, Kind: TraceHWBegin, Age: 2, Flags: FlagAge},
+		{Cycle: 30, Proc: 0, Kind: TraceHWCommit, Age: 2, Flags: FlagAge},
+		{Cycle: 31, Proc: 0, Kind: TraceTxCommit, Age: uint64(PathHTM), Flags: FlagPath},
+		{Cycle: 40, Proc: 1, Kind: TraceTxBegin}, // left open: truncated at Close
+	}
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	for _, e := range events {
+		sink.Event(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, truncated int
+	for _, e := range doc.TraceEvents {
+		if e["name"] != "tx" || e["ph"] != "X" {
+			continue
+		}
+		args := e["args"].(map[string]any)
+		if args["path"] == "truncated" {
+			truncated++
+			continue
+		}
+		spans++
+		if args["path"] != "htm" {
+			t.Errorf("tx span path = %v, want htm", args["path"])
+		}
+		if args["attempts"] != float64(2) {
+			t.Errorf("tx span attempts = %v, want 2", args["attempts"])
+		}
+		aborts, ok := args["aborts"].(map[string]any)
+		if !ok || aborts["conflict"] != float64(1) {
+			t.Errorf("tx span aborts = %v, want conflict:1", args["aborts"])
+		}
+		if e["ts"] != float64(5) || e["dur"] != float64(26) {
+			t.Errorf("tx span ts/dur = %v/%v, want 5/26", e["ts"], e["dur"])
+		}
+	}
+	if spans != 1 || truncated != 1 {
+		t.Fatalf("tx spans=%d truncated=%d, want 1/1\n%s", spans, truncated, buf.String())
+	}
+}
+
+// TestJSONLSinkTxPath: tx-commit events carry the committing path by
+// name (the Age field holds a TxPath when FlagPath is set).
+func TestJSONLSinkTxPath(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sink.Event(TraceEvent{Cycle: 31, Proc: 0, Kind: TraceTxCommit, Age: uint64(PathUFO), Flags: FlagPath})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"tx-commit"`) || !strings.Contains(buf.String(), `"path":"ufo"`) {
+		t.Fatalf("JSONL tx-commit missing path: %q", buf.String())
+	}
+}
+
+// TestMachineTxLifeSpansInTrace: a real run through the TxLife hooks
+// lands tx-begin/tx-commit events in the ring alongside the hardware
+// attempt events, without advancing the simulated clock.
+func TestMachineTxLifeSpansInTrace(t *testing.T) {
+	m := New(testParams(1))
+	tr := m.EnableTrace(100)
+	m.Run([]func(*Proc){func(p *Proc) {
+		p.TxLifeBegin()
+		p.TxLifeAttempt(PathHTM)
+		p.BeginHW(m.NextAge(), true)
+		p.TxWrite(64, 1)
+		p.CommitHW()
+		p.TxLifeCommit(PathHTM)
+	}})
+	var begin, commit *TraceEvent
+	for i, e := range tr.Events() {
+		switch e.Kind {
+		case TraceTxBegin:
+			begin = &tr.Events()[i]
+		case TraceTxCommit:
+			commit = &tr.Events()[i]
+		}
+	}
+	if begin == nil || commit == nil {
+		t.Fatalf("trace missing tx lifecycle events:\n%v", tr.Events())
+	}
+	if !commit.HasPath() || TxPath(commit.Age) != PathHTM {
+		t.Errorf("tx-commit path = %+v, want htm", commit)
+	}
+	if commit.Cycle < begin.Cycle {
+		t.Errorf("tx span inverted: begin @%d, commit @%d", begin.Cycle, commit.Cycle)
+	}
+}
+
 func TestTextSinkMatchesDump(t *testing.T) {
 	var viaSink, viaDump bytes.Buffer
 	sink := NewTextSink(&viaSink)

@@ -1,0 +1,109 @@
+package machine
+
+// Per-transaction lifecycle hooks. TM systems call these from their
+// Atomic loops to feed the attached TxRecorder (SetTxRecorder) and the
+// per-transaction trace spans (TraceTxBegin / TraceTxCommit). Every hook
+// is self-bracketed in an ordered section, so recorder calls and trace
+// events land in the deterministic serial schedule order under every
+// scheduler; with no recorder attached and tracing off each hook costs
+// one or two nil checks and returns before entering the section (the
+// attachment is fixed before Run, so the nil read itself needs no
+// ordering — the same argument Machine.ConflictRecorder documents).
+//
+// The hooks never advance the simulated clock and never draw from any
+// RNG: attaching a recorder observes a run without perturbing it, so
+// instrumented and uninstrumented runs are cycle-identical.
+
+// txTracing reports whether per-transaction trace events have anywhere
+// to go. Proc-local read of attachments fixed before Run; no ordering
+// needed.
+func (p *Proc) txTracing() bool {
+	return p.m.trace != nil || len(p.m.sinks) != 0
+}
+
+// TxLifeBegin marks the start of one logical transaction (an Atomic
+// call) for lifecycle accounting and emits the tx-begin trace event.
+// Self-bracketed in an ordered section; near-zero cost when no recorder
+// or trace is attached.
+func (p *Proc) TxLifeBegin() {
+	rec, tr := p.m.txrec != nil, p.txTracing()
+	if !rec && !tr {
+		return
+	}
+	p.sp.EnterOrdered(0)
+	defer p.sp.ExitOrdered()
+	if rec {
+		p.m.txrec.TxBegin(p.ID(), p.Now())
+	}
+	if tr {
+		p.record(TraceTxBegin, AbortNone, 0, 0, 0)
+	}
+}
+
+// TxLifeAttempt marks the start of one attempt on the given path.
+// Self-bracketed in an ordered section; one nil check when no recorder
+// is attached.
+func (p *Proc) TxLifeAttempt(path TxPath) {
+	if p.m.txrec == nil {
+		return
+	}
+	p.sp.EnterOrdered(0)
+	defer p.sp.ExitOrdered()
+	p.m.txrec.TxAttempt(p.ID(), path, p.Now())
+}
+
+// TxLifeAbort marks the failure of the current attempt for the given
+// reason. Self-bracketed in an ordered section; one nil check when no
+// recorder is attached.
+func (p *Proc) TxLifeAbort(path TxPath, reason AbortReason) {
+	if p.m.txrec == nil {
+		return
+	}
+	p.sp.EnterOrdered(0)
+	defer p.sp.ExitOrdered()
+	p.m.txrec.TxAbort(p.ID(), path, reason, p.Now())
+}
+
+// TxLifeRetryWait marks a Retry suspension (§6): cycles from the current
+// attempt's start until the next TxLifeAttempt count as transactional
+// waiting rather than wasted work. Self-bracketed in an ordered section;
+// one nil check when no recorder is attached.
+func (p *Proc) TxLifeRetryWait() {
+	if p.m.txrec == nil {
+		return
+	}
+	p.sp.EnterOrdered(0)
+	defer p.sp.ExitOrdered()
+	p.m.txrec.TxRetryWait(p.ID(), p.Now())
+}
+
+// TxLifeBackoff reports cycles just spent in a contention-management
+// delay (cm calls it after Elapse). Self-bracketed in an ordered
+// section; one nil check when no recorder is attached.
+func (p *Proc) TxLifeBackoff(cycles uint64) {
+	if p.m.txrec == nil {
+		return
+	}
+	p.sp.EnterOrdered(0)
+	defer p.sp.ExitOrdered()
+	p.m.txrec.TxBackoff(p.ID(), cycles)
+}
+
+// TxLifeCommit marks the successful end of the transaction on the given
+// path and emits the tx-commit trace event (the path rides in the Age
+// field, FlagPath). Self-bracketed in an ordered section; near-zero cost
+// when no recorder or trace is attached.
+func (p *Proc) TxLifeCommit(path TxPath) {
+	rec, tr := p.m.txrec != nil, p.txTracing()
+	if !rec && !tr {
+		return
+	}
+	p.sp.EnterOrdered(0)
+	defer p.sp.ExitOrdered()
+	if rec {
+		p.m.txrec.TxCommit(p.ID(), path, p.Now())
+	}
+	if tr {
+		p.record(TraceTxCommit, AbortNone, 0, uint64(path), FlagPath)
+	}
+}

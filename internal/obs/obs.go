@@ -53,9 +53,27 @@ func (c *Counter) Inc() { c.v++ }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v }
 
-// Gauge is a point-in-time float64 metric. Gauges merge by summation
-// (like counters), so only use them for extensive quantities; ratios
-// belong to the consumer.
+// GaugeMerge selects how a gauge combines across snapshots in
+// Snapshot.Add. The zero value is MergeSum.
+type GaugeMerge string
+
+// The gauge merge rules. Each registered gauge picks one explicitly
+// (Registry.Gauge registers sum-merged gauges, Registry.MaxGauge
+// max-merged ones); OBSERVABILITY.md documents the rule per metric.
+const (
+	// MergeSum: values add across cells (extensive quantities).
+	MergeSum GaugeMerge = ""
+	// MergeMax: the aggregate keeps the largest cell value (peaks,
+	// high-water marks). Encoded as "merge":"max" in snapshot JSON.
+	MergeMax GaugeMerge = "max"
+)
+
+// Gauge is a point-in-time float64 metric. Every gauge declares its
+// aggregation rule at registration: sum-merged gauges (Registry.Gauge)
+// add across sweep cells like counters and so must hold extensive
+// quantities; max-merged gauges (Registry.MaxGauge) keep the largest
+// cell value and so suit peaks and high-water marks. Ratios belong to
+// the consumer.
 type Gauge struct {
 	v float64
 }
@@ -66,21 +84,52 @@ func (g *Gauge) Set(v float64) { g.v = v }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return g.v }
 
-// histBuckets covers observations 1 .. 2^16 in power-of-two buckets,
-// mirroring machine.Hist so footprint histograms import losslessly.
-const histBuckets = 17
+// DefaultHistBuckets covers observations 1 .. 2^16 in power-of-two
+// buckets, mirroring machine.Hist so footprint histograms import
+// losslessly.
+const DefaultHistBuckets = 17
+
+// WideHistBuckets covers observations 1 .. 2^32: the variant for
+// cycle-scale values (transaction latencies), where the default range
+// would clamp everything above ~65k cycles into one bucket.
+const WideHistBuckets = 33
 
 // Histogram is a power-of-two histogram: bucket i counts observations in
-// (2^(i-1), 2^i]; bucket 0 counts zero observations.
+// (2^(i-1), 2^i]; bucket 0 counts zero observations. The zero value is a
+// ready-to-use histogram with the default bucket range; NewWideHistogram
+// (or Registry.WideHistogram) widens the range to 2^32.
 type Histogram struct {
 	count   uint64
 	sum     uint64
 	max     uint64
-	buckets [histBuckets]uint64
+	width   int // 0 means DefaultHistBuckets, keeping the zero value usable
+	buckets []uint64
+}
+
+// NewWideHistogram returns a histogram whose buckets cover 1 .. 2^32
+// (WideHistBuckets) instead of the default 2^16 range.
+func NewWideHistogram() *Histogram {
+	return &Histogram{width: WideHistBuckets}
+}
+
+// Width returns the histogram's bucket count.
+func (h *Histogram) Width() int {
+	if h.width == 0 {
+		return DefaultHistBuckets
+	}
+	return h.width
+}
+
+// grow lazily allocates the bucket slice (so zero-value Histograms work).
+func (h *Histogram) grow() {
+	if h.buckets == nil {
+		h.buckets = make([]uint64, h.Width())
+	}
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
+	h.grow()
 	h.count++
 	h.sum += v
 	if v > h.max {
@@ -90,8 +139,8 @@ func (h *Histogram) Observe(v uint64) {
 	for x := v; x > 0; x >>= 1 {
 		b++
 	}
-	if b >= histBuckets {
-		b = histBuckets - 1
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
 	}
 	h.buckets[b]++
 }
@@ -100,14 +149,15 @@ func (h *Histogram) Observe(v uint64) {
 // per-bucket counts) into h. Buckets beyond h's range accumulate into the
 // last bucket. This is how machine.Hist instances register losslessly.
 func (h *Histogram) Import(count, sum, max uint64, buckets []uint64) {
+	h.grow()
 	h.count += count
 	h.sum += sum
 	if max > h.max {
 		h.max = max
 	}
 	for i, n := range buckets {
-		if i >= histBuckets {
-			h.buckets[histBuckets-1] += n
+		if i >= len(h.buckets) {
+			h.buckets[len(h.buckets)-1] += n
 			continue
 		}
 		h.buckets[i] += n
@@ -119,10 +169,11 @@ func (h *Histogram) Count() uint64 { return h.count }
 
 // metric is one registered entry.
 type metric struct {
-	name string
-	typ  MetricType
-	unit string
-	help string
+	name  string
+	typ   MetricType
+	unit  string
+	help  string
+	merge GaugeMerge // gauges only
 
 	c *Counter
 	g *Gauge
@@ -164,11 +215,23 @@ func (r *Registry) Counter(name, unit, help string) *Counter {
 	return m.c
 }
 
-// Gauge registers (or returns the existing) gauge under name.
+// Gauge registers (or returns the existing) gauge under name, merging
+// by summation across snapshots (MergeSum).
 func (r *Registry) Gauge(name, unit, help string) *Gauge {
 	m := r.lookup(name, TypeGauge)
 	if m.g == nil {
 		m.g, m.unit, m.help = &Gauge{}, unit, help
+	}
+	return m.g
+}
+
+// MaxGauge registers (or returns the existing) gauge under name, merging
+// by maximum across snapshots (MergeMax) — for peaks and high-water
+// marks, where summing cells would fabricate a value no run observed.
+func (r *Registry) MaxGauge(name, unit, help string) *Gauge {
+	m := r.lookup(name, TypeGauge)
+	if m.g == nil {
+		m.g, m.unit, m.help, m.merge = &Gauge{}, unit, help, MergeMax
 	}
 	return m.g
 }
@@ -178,6 +241,17 @@ func (r *Registry) Histogram(name, unit, help string) *Histogram {
 	m := r.lookup(name, TypeHistogram)
 	if m.h == nil {
 		m.h, m.unit, m.help = &Histogram{}, unit, help
+	}
+	return m.h
+}
+
+// WideHistogram registers (or returns the existing) histogram under
+// name with the wide 2^32 bucket range (WideHistBuckets) — for
+// cycle-scale values such as transaction latencies.
+func (r *Registry) WideHistogram(name, unit, help string) *Histogram {
+	m := r.lookup(name, TypeHistogram)
+	if m.h == nil {
+		m.h, m.unit, m.help = NewWideHistogram(), unit, help
 	}
 	return m.h
 }
@@ -256,12 +330,17 @@ func (h *HistSnapshot) P90() float64 { return h.Quantile(0.90) }
 // P99 estimates the 99th percentile.
 func (h *HistSnapshot) P99() float64 { return h.Quantile(0.99) }
 
+// P999 estimates the 99.9th percentile (tail latencies need the wide
+// histogram range to be meaningful above ~65k cycles).
+func (h *HistSnapshot) P999() float64 { return h.Quantile(0.999) }
+
 // Metric is one frozen metric in a snapshot.
 type Metric struct {
-	Name string
-	Type MetricType
-	Unit string
-	Help string
+	Name  string
+	Type  MetricType
+	Unit  string
+	Help  string
+	Merge GaugeMerge // gauges only; MergeSum encodes as absent
 
 	Value  uint64        // counter value
 	FValue float64       // gauge value
@@ -283,6 +362,10 @@ func (m Metric) MarshalJSON() ([]byte, error) {
 	if m.Help != "" {
 		buf = append(buf, `,"help":`...)
 		buf = strconv.AppendQuote(buf, m.Help)
+	}
+	if m.Merge != MergeSum {
+		buf = append(buf, `,"merge":`...)
+		buf = strconv.AppendQuote(buf, string(m.Merge))
 	}
 	switch m.Type {
 	case TypeCounter:
@@ -322,6 +405,7 @@ func (m *Metric) UnmarshalJSON(data []byte) error {
 		Type    MetricType      `json:"type"`
 		Unit    string          `json:"unit"`
 		Help    string          `json:"help"`
+		Merge   GaugeMerge      `json:"merge"`
 		Value   json.RawMessage `json:"value"`
 		Count   uint64          `json:"count"`
 		Sum     uint64          `json:"sum"`
@@ -331,7 +415,7 @@ func (m *Metric) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
 	}
-	m.Name, m.Type, m.Unit, m.Help = raw.Name, raw.Type, raw.Unit, raw.Help
+	m.Name, m.Type, m.Unit, m.Help, m.Merge = raw.Name, raw.Type, raw.Unit, raw.Help, raw.Merge
 	switch raw.Type {
 	case TypeCounter:
 		if raw.Value != nil {
@@ -370,7 +454,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	sort.Strings(names)
 	for _, name := range names {
 		m := r.byName[name]
-		out := Metric{Name: m.name, Type: m.typ, Unit: m.unit, Help: m.help}
+		out := Metric{Name: m.name, Type: m.typ, Unit: m.unit, Help: m.help, Merge: m.merge}
 		switch m.typ {
 		case TypeCounter:
 			out.Value = m.c.v
@@ -409,9 +493,10 @@ func (s *Snapshot) Counter(name string) uint64 {
 	return 0
 }
 
-// Add merges other into s: counters and gauges sum, histograms merge
-// bucket-wise, and metrics present in only one side carry over. The two
-// sides must agree on the type of any shared name.
+// Add merges other into s: counters sum, gauges follow their declared
+// merge rule (MergeSum adds, MergeMax keeps the larger value),
+// histograms merge bucket-wise, and metrics present in only one side
+// carry over. The two sides must agree on the type of any shared name.
 func (s *Snapshot) Add(other *Snapshot) {
 	byName := make(map[string]int, len(s.Metrics))
 	for i := range s.Metrics {
@@ -437,7 +522,13 @@ func (s *Snapshot) Add(other *Snapshot) {
 		case TypeCounter:
 			m.Value += om.Value
 		case TypeGauge:
-			m.FValue += om.FValue
+			if m.Merge == MergeMax {
+				if om.FValue > m.FValue {
+					m.FValue = om.FValue
+				}
+			} else {
+				m.FValue += om.FValue
+			}
 		case TypeHistogram:
 			m.Hist.Count += om.Hist.Count
 			m.Hist.Sum += om.Hist.Sum

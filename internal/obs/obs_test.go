@@ -163,8 +163,8 @@ func TestHistogramImport(t *testing.T) {
 	h := r.Histogram("h", "lines", "")
 	h.Import(3, 10, 8, []uint64{1, 1, 0, 0, 1})
 	// A source with more buckets than we keep clamps into the last bucket.
-	long := make([]uint64, histBuckets+4)
-	long[histBuckets+3] = 2
+	long := make([]uint64, DefaultHistBuckets+4)
+	long[DefaultHistBuckets+3] = 2
 	h.Import(2, 100, 50, long)
 	s := r.Snapshot().Get("h").Hist
 	if s.Count != 5 || s.Sum != 110 || s.Max != 50 {
@@ -172,5 +172,82 @@ func TestHistogramImport(t *testing.T) {
 	}
 	if s.Buckets[len(s.Buckets)-1] != 2 {
 		t.Fatalf("clamped buckets = %v", s.Buckets)
+	}
+}
+
+// TestGaugeMergeRules pins the per-metric gauge merge semantics: gauges
+// registered with Gauge sum across snapshots, gauges registered with
+// MaxGauge keep the largest value, and the rule survives JSON round
+// trips (the "merge":"max" field).
+func TestGaugeMergeRules(t *testing.T) {
+	mk := func(sum, max float64) *Snapshot {
+		r := NewRegistry()
+		r.Gauge("g.sum", "", "").Set(sum)
+		r.MaxGauge("g.max", "", "").Set(max)
+		return r.Snapshot()
+	}
+	a, b := mk(2, 5), mk(3, 4)
+	a.Add(b)
+	if got := a.Get("g.sum").FValue; got != 5 {
+		t.Errorf("sum gauge merged to %v, want 5", got)
+	}
+	if got := a.Get("g.max").FValue; got != 5 {
+		t.Errorf("max gauge merged to %v, want 5", got)
+	}
+	// Commutativity: merging the other way yields the same values.
+	c, d := mk(2, 5), mk(3, 4)
+	d.Add(c)
+	if d.Get("g.sum").FValue != 5 || d.Get("g.max").FValue != 5 {
+		t.Errorf("merge not commutative: %v %v", d.Get("g.sum").FValue, d.Get("g.max").FValue)
+	}
+
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"merge": "max"`) {
+		t.Fatalf("max gauge missing merge field:\n%s", buf.String())
+	}
+	if strings.Contains(strings.Split(buf.String(), `"g.sum"`)[1], `"merge"`) {
+		t.Fatal("sum gauge must not carry a merge field")
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Get("g.max").Merge != MergeMax || back.Get("g.sum").Merge != MergeSum {
+		t.Fatalf("merge rule lost in round trip: %+v", back.Metrics)
+	}
+	// A re-read snapshot still merges by its rule.
+	back.Add(mk(1, 9))
+	if back.Get("g.max").FValue != 9 || back.Get("g.sum").FValue != 6 {
+		t.Fatalf("re-read snapshot merged wrong: max=%v sum=%v",
+			back.Get("g.max").FValue, back.Get("g.sum").FValue)
+	}
+}
+
+// TestWideHistogramRegistry: WideHistogram registers a 2^32-range
+// histogram that snapshots and merges like any other.
+func TestWideHistogramRegistry(t *testing.T) {
+	r := NewRegistry()
+	h := r.WideHistogram("lat", "cycles", "")
+	h.Observe(1 << 25)
+	s := r.Snapshot()
+	if got := s.Get("lat").Hist.Max; got != 1<<25 {
+		t.Fatalf("wide hist max = %d", got)
+	}
+	if n := len(s.Get("lat").Hist.Buckets); n != 27 {
+		t.Fatalf("bucket count = %d, want 27 (bit length of 2^25 is 26)", n)
+	}
+	// Merging wide into narrow pads buckets rather than truncating.
+	r2 := NewRegistry()
+	r2.Histogram("lat", "cycles", "").Observe(3)
+	s2 := r2.Snapshot()
+	s2.Add(s)
+	if got := s2.Get("lat").Hist.Count; got != 2 {
+		t.Fatalf("merged count = %d", got)
+	}
+	if n := len(s2.Get("lat").Hist.Buckets); n != 27 {
+		t.Fatalf("merged bucket count = %d, want 27", n)
 	}
 }

@@ -112,3 +112,55 @@ func TestQuantileEmptyAndNil(t *testing.T) {
 		t.Errorf("empty P99 = %v", got)
 	}
 }
+
+// TestQuantileWideRange: the wide (2^32) histogram keeps resolution for
+// cycle-scale values that the default range clamps into its last bucket.
+func TestQuantileWideRange(t *testing.T) {
+	wide := NewWideHistogram()
+	var narrow Histogram
+	for _, v := range []uint64{1 << 17, 1 << 20, 1 << 24, 1 << 28, 1 << 31} {
+		wide.Observe(v)
+		narrow.Observe(v)
+	}
+	ws, ns := wide.Snapshot(), narrow.Snapshot()
+	if len(ns.Buckets) != DefaultHistBuckets {
+		t.Fatalf("narrow buckets = %d, want clamped at %d", len(ns.Buckets), DefaultHistBuckets)
+	}
+	if ns.Buckets[DefaultHistBuckets-1] != 5 {
+		t.Fatalf("narrow histogram should clamp all 5 samples into the last bucket: %v", ns.Buckets)
+	}
+	if len(ws.Buckets) != 33 {
+		t.Fatalf("wide buckets trimmed to %d, want 33 (2^31 has bit length 32)", len(ws.Buckets))
+	}
+	// Each sample lands in its own bucket, so the median is interpolated
+	// inside [2^24, 2^25-1] (the bucket holding the 2^24 sample) — a
+	// range the narrow histogram cannot see.
+	if got := ws.P50(); got < 1<<24 || got > 1<<25 {
+		t.Errorf("wide P50 = %v, want within [2^24, 2^25]", got)
+	}
+	if got := ws.Quantile(1); got != float64(uint64(1)<<31) {
+		t.Errorf("wide Quantile(1) = %v, want 2^31", got)
+	}
+}
+
+// TestQuantileP999: the 99.9th percentile separates a 1-in-1000 tail
+// that P99 misses, given the wide bucket range.
+func TestQuantileP999(t *testing.T) {
+	h := NewWideHistogram()
+	for i := 0; i < 995; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(1 << 20)
+	}
+	s := h.Snapshot()
+	if p99 := s.P99(); p99 > 128 {
+		t.Errorf("P99 = %v, want inside the body bucket", p99)
+	}
+	if p999 := s.P999(); p999 < 1<<19 {
+		t.Errorf("P999 = %v, want inside the tail bucket (>= 2^19)", p999)
+	}
+	if got := s.P999(); got > float64(s.Max) {
+		t.Errorf("P999 = %v exceeds max %d", got, s.Max)
+	}
+}

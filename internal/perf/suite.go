@@ -46,6 +46,29 @@ func Suite() []Bench {
 		},
 	}}
 
+	// The same sweep with per-transaction lifecycle accounting enabled:
+	// the ns/op ratio against the gated entry is what -txstats-out costs.
+	// Informational, not gated — the gate pattern anchors on Figure5Sweep
+	// exactly, and the disabled-path cost of the lifecycle hooks is
+	// bounded by the gated entry itself (they reduce to a nil check when
+	// no recorder is attached).
+	topt := opt
+	topt.TxStats = true
+	benches = append(benches, Bench{
+		Name: "Figure5Sweep/txstats",
+		Op: func() uint64 {
+			var cycles uint64
+			for _, f := range harness.Benchmarks(scale) {
+				for _, sys := range harness.Figure5Systems {
+					for _, threads := range threadCounts {
+						cycles += runCell(sys, f, threads, topt)
+					}
+				}
+			}
+			return cycles
+		},
+	})
+
 	for _, f := range harness.Benchmarks(scale) {
 		for _, sys := range harness.Figure5Systems {
 			f, sys := f, sys

@@ -143,6 +143,8 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 	age := e.s.m.NextAge()
 	stats := e.s.Stats()
 	cmgr := e.s.CM()
+	p := e.Proc()
+	p.TxLifeBegin()
 	aborts := 0
 	for {
 		if e.s.numMustSTM > 0 {
@@ -157,15 +159,18 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			e.Proc().Elapse(e.s.PhasePollCycles)
 			continue
 		}
+		p.TxLifeAttempt(machine.PathHTM)
 		reason, committed := e.tryHW(age, body)
 		if committed {
 			stats.HWCommits++
+			p.TxLifeCommit(machine.PathHTM)
 			cmgr.TxDone(age)
 			for _, f := range e.onCommit {
 				f()
 			}
 			return
 		}
+		p.TxLifeAbort(machine.PathHTM, reason)
 		if e.phaseAbort {
 			// Software transactions are in flight: loop to the phase
 			// checks (stall or start in software as they dictate).

@@ -84,15 +84,20 @@ func (e *exec) Store(addr, val uint64) {
 // Atomic implements tm.Exec. Explicit aborts restart the body; Retry
 // polls (there is nothing to coordinate a real sleep with).
 func (e *exec) Atomic(body func(tm.Tx)) {
+	e.p.TxLifeBegin()
 	if e.s.mode == GlobalLock {
 		e.acquire()
 		defer e.release()
 	}
 	for {
+		// Both baselines serialize rather than speculate, so every
+		// attempt is a fallback-path attempt.
+		e.p.TxLifeAttempt(machine.PathFallback)
 		e.onCommit = e.onCommit[:0]
 		_, retry, aborted := tm.Catch(func() { body(directTx{e}) })
 		if !aborted {
 			e.s.stats.SWCommits++
+			e.p.TxLifeCommit(machine.PathFallback)
 			defer func() {
 				for _, f := range e.onCommit {
 					f()
@@ -101,6 +106,7 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			return
 		}
 		if retry {
+			e.p.TxLifeRetryWait()
 			// Poll-based waiting: drop and re-take the lock so writers
 			// can make progress.
 			if e.s.mode == GlobalLock {
@@ -110,6 +116,9 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			if e.s.mode == GlobalLock {
 				e.acquire()
 			}
+		} else {
+			// Explicit abort is the only way a direct body unwinds.
+			e.p.TxLifeAbort(machine.PathFallback, machine.AbortExplicit)
 		}
 		e.s.stats.SWAborts++
 	}

@@ -119,14 +119,18 @@ func (e *Exec) Critical(l Lock, body func(Mem)) {
 	cmgr := e.mgr.CM()
 	id := uint64(e.p.ID())<<32 | e.seq
 	e.seq++
+	e.p.TxLifeBegin()
 	for attempt := 0; attempt < e.mgr.MaxAttempts; attempt++ {
+		e.p.TxLifeAttempt(machine.PathHTM)
 		ok, reason := e.tryElide(st, body)
 		if ok {
 			e.mgr.stats.Elided++
+			e.p.TxLifeCommit(machine.PathHTM)
 			cmgr.TxDone(id)
 			return
 		}
 		e.mgr.stats.Aborts++
+		e.p.TxLifeAbort(machine.PathHTM, reason)
 		// attempt is 0-based here (the first failed elision backs off by
 		// one Base unit), matching the original loop; the policy clamps
 		// the shift, which the original `Base << attempt` did not — any
@@ -141,12 +145,14 @@ func (e *Exec) Critical(l Lock, body func(Mem)) {
 	// Fall back: take the lock for real. The write to the lock word
 	// aborts every concurrent elider (their speculative read of the word
 	// conflicts), which is exactly SLE's correctness argument.
+	e.p.TxLifeAttempt(machine.PathFallback)
 	e.acquire(st)
 	func() {
 		defer e.release(st)
 		body(direct{e.p})
 	}()
 	e.mgr.stats.Acquired++
+	e.p.TxLifeCommit(machine.PathFallback)
 	cmgr.TxDone(id)
 }
 

@@ -170,14 +170,21 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 	cmgr := e.s.CM()
 	id := uint64(e.p.ID())<<32 | e.txSeq
 	e.txSeq++
+	e.p.TxLifeBegin()
+	// Attempts are plain software-path attempts until the starvation
+	// escalation takes the global token; then they are serialized
+	// fallback attempts.
+	path := machine.PathSW
 	attempts := 0
 	for {
+		e.p.TxLifeAttempt(path)
 		e.begin()
 		reason, retryReq, aborted := tm.Catch(func() { body(tl2Tx{e}) })
 		if !aborted {
 			if e.commit() {
 				e.s.stats.SWCommits++
 				e.p.RecordSWCommit()
+				e.p.TxLifeCommit(path)
 				cmgr.TxDone(id)
 				for _, f := range e.onCommit {
 					f()
@@ -191,15 +198,18 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 		if retryReq {
 			// Poll-based retry emulation (TL2 has no native waiting).
 			e.s.stats.Retries++
+			e.p.TxLifeRetryWait()
 			cmgr.RetryPoll(e.p)
 			continue
 		}
 		e.s.stats.SWAborts++
+		e.p.TxLifeAbort(path, reason)
 		attempts++ // the policy clamps the shift (saturating counter)
 		if cmgr.OnAbort(e.p, id, attempts, reason) != cm.EscalateNone {
 			// Starving per the policy: with no other fallback, take the
 			// global serialization token (released at commit).
 			cmgr.AcquireToken(e.p, id)
+			path = machine.PathFallback
 		}
 	}
 }

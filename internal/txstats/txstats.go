@@ -1,0 +1,220 @@
+// Package txstats implements per-transaction lifecycle accounting for
+// the simulated machine: a recorder of begin/attempt/abort/commit events
+// — fed by every TM system's Atomic loop through the Proc.TxLife* hooks
+// — aggregated into a deterministic profile of transaction latency
+// (commit-to-commit wall cycles, wide power-of-two histogram),
+// retries-to-commit, and a wasted-work breakdown that splits every
+// committed transaction's cycles into useful work, wasted (aborted)
+// attempts, contention-management backoff, Retry waiting, and residual
+// overhead.
+//
+// This is the measurement layer behind the paper's §5 discussion of
+// where hybrid-TM time goes: Figure 5 reports throughput, but explaining
+// *why* a configuration wins needs the latency distribution and the
+// cycles destroyed by each abort cause on each execution path (HTM, UFO,
+// software, serialized fallback). The wasted-work attribution is
+// cross-linked to the conflict edges internal/contention records: the
+// recorder remembers each victim's most recent aggressor and charges the
+// aborted attempt's cycles to that processor.
+//
+// Recorder implements machine.TxRecorder (the machine defines the
+// interface so the dependency points outward; attach with
+// Machine.SetTxRecorder). Aggregation is deterministic: the engine
+// serializes the hooks in ordered sections, and Report freezes every
+// accumulator into declaration-ordered or sorted slices, so equal runs
+// produce byte-identical reports.
+package txstats
+
+import (
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// txState tracks one processor's in-flight transaction.
+type txState struct {
+	active       bool
+	begin        uint64 // cycle of TxBegin
+	attempts     uint64 // attempts so far (including the current one)
+	path         machine.TxPath
+	attemptStart uint64 // cycle the current attempt (or Retry wait) started
+	waiting      bool   // suspended in Retry: attemptStart..next attempt is wait time
+	wasted       uint64 // cycles in aborted attempts so far
+	backoff      uint64 // cycles in cm backoff so far
+	retryWait    uint64 // cycles suspended in Retry so far
+	aggressor    int    // most recent conflict aggressor, -1 if none
+}
+
+// Recorder is the accumulating side of the lifecycle subsystem: one per
+// machine run. It implements machine.TxRecorder. Like obs.Registry it is
+// not safe for concurrent use — the simulation engine serializes
+// processors, and parallel sweeps give every cell its own Recorder.
+type Recorder struct {
+	procs int
+	tx    []txState
+
+	begun     uint64
+	committed uint64
+
+	commitsByPath  [machine.NumTxPaths]uint64
+	attemptsByPath [machine.NumTxPaths]uint64
+	aborts         [machine.NumTxPaths][machine.NumAbortReasons]uint64
+	wastedBy       [machine.NumTxPaths][machine.NumAbortReasons]uint64
+
+	usefulCycles    uint64
+	wastedCycles    uint64
+	backoffCycles   uint64
+	retryWaitCycles uint64
+	overheadCycles  uint64
+	retryWaits      uint64
+
+	aggressorWasted []uint64 // per aggressor proc: cycles their conflicts destroyed
+	unknownWasted   uint64   // wasted cycles with no recorded aggressor
+
+	latency  *obs.Histogram // per committed tx: commit cycle - begin cycle
+	attempts obs.Histogram  // per committed tx: attempts to commit
+}
+
+var _ machine.TxRecorder = (*Recorder)(nil)
+
+// New returns an empty recorder for a machine with the given processor
+// count.
+func New(procs int) *Recorder {
+	if procs < 1 {
+		procs = 1
+	}
+	r := &Recorder{
+		procs:           procs,
+		tx:              make([]txState, procs),
+		aggressorWasted: make([]uint64, procs),
+		latency:         obs.NewWideHistogram(),
+	}
+	for i := range r.tx {
+		r.tx[i].aggressor = -1
+	}
+	return r
+}
+
+// TxBegin implements machine.TxRecorder.
+func (r *Recorder) TxBegin(proc int, cycle uint64) {
+	if proc < 0 || proc >= r.procs {
+		return
+	}
+	r.begun++
+	r.tx[proc] = txState{active: true, begin: cycle, attemptStart: cycle, aggressor: -1}
+}
+
+// TxAttempt implements machine.TxRecorder.
+func (r *Recorder) TxAttempt(proc int, path machine.TxPath, cycle uint64) {
+	if proc < 0 || proc >= r.procs || !r.tx[proc].active {
+		return
+	}
+	t := &r.tx[proc]
+	if t.waiting {
+		// The whole interval since the Retry attempt started counts as
+		// transactional waiting, not wasted work.
+		w := cycle - t.attemptStart
+		t.retryWait += w
+		r.retryWaitCycles += w
+		t.waiting = false
+	}
+	t.attempts++
+	t.path = path
+	t.attemptStart = cycle
+	if int(path) < len(r.attemptsByPath) {
+		r.attemptsByPath[path]++
+	}
+}
+
+// TxAbort implements machine.TxRecorder.
+func (r *Recorder) TxAbort(proc int, path machine.TxPath, reason machine.AbortReason, cycle uint64) {
+	if proc < 0 || proc >= r.procs || !r.tx[proc].active {
+		return
+	}
+	t := &r.tx[proc]
+	w := cycle - t.attemptStart
+	t.wasted += w
+	r.wastedCycles += w
+	if int(path) < len(r.aborts) && int(reason) < len(r.aborts[path]) {
+		r.aborts[path][reason]++
+		r.wastedBy[path][reason] += w
+	}
+	if t.aggressor >= 0 && t.aggressor < r.procs {
+		r.aggressorWasted[t.aggressor] += w
+	} else {
+		r.unknownWasted += w
+	}
+	t.aggressor = -1
+	// Anything until the next attempt (backoff aside) is overhead.
+	t.attemptStart = cycle
+}
+
+// TxRetryWait implements machine.TxRecorder.
+func (r *Recorder) TxRetryWait(proc int, cycle uint64) {
+	if proc < 0 || proc >= r.procs || !r.tx[proc].active {
+		return
+	}
+	r.retryWaits++
+	r.tx[proc].waiting = true
+}
+
+// TxBackoff implements machine.TxRecorder.
+func (r *Recorder) TxBackoff(proc int, cycles uint64) {
+	if proc < 0 || proc >= r.procs || !r.tx[proc].active {
+		return
+	}
+	r.tx[proc].backoff += cycles
+	r.backoffCycles += cycles
+}
+
+// TxCommit implements machine.TxRecorder.
+func (r *Recorder) TxCommit(proc int, path machine.TxPath, cycle uint64) {
+	if proc < 0 || proc >= r.procs || !r.tx[proc].active {
+		return
+	}
+	t := &r.tx[proc]
+	r.committed++
+	if int(path) < len(r.commitsByPath) {
+		r.commitsByPath[path]++
+	}
+	lat := cycle - t.begin
+	useful := cycle - t.attemptStart
+	r.usefulCycles += useful
+	// The intervals are disjoint sub-ranges of [begin, commit], so the
+	// residual is non-negative: begin-to-first-attempt setup plus
+	// abort-to-retry gaps not spent in cm backoff.
+	r.overheadCycles += lat - useful - t.wasted - t.backoff - t.retryWait
+	r.latency.Observe(lat)
+	r.attempts.Observe(t.attempts)
+	r.tx[proc] = txState{aggressor: -1}
+}
+
+// TxConflict implements machine.TxRecorder.
+func (r *Recorder) TxConflict(victim, aggressor int) {
+	if victim < 0 || victim >= r.procs {
+		return
+	}
+	r.tx[victim].aggressor = aggressor
+}
+
+// Committed returns the number of committed transactions recorded so far.
+func (r *Recorder) Committed() uint64 { return r.committed }
+
+// Register copies the recorder's headline totals into reg under stable
+// txstats.* metric names, tying the lifecycle layer into the same obs
+// registry snapshot the rest of the run reports through.
+func (r *Recorder) Register(reg *obs.Registry) {
+	reg.Counter("txstats.begun", "txs", "transactions started (lifecycle accounting)").Add(r.begun)
+	reg.Counter("txstats.committed", "txs", "transactions committed (lifecycle accounting)").Add(r.committed)
+	reg.Counter("txstats.useful_cycles", "cycles", "cycles in committing attempts").Add(r.usefulCycles)
+	reg.Counter("txstats.wasted_cycles", "cycles", "cycles in aborted attempts").Add(r.wastedCycles)
+	reg.Counter("txstats.backoff_cycles", "cycles", "cycles in contention-management backoff inside transactions").Add(r.backoffCycles)
+	reg.Counter("txstats.retry_wait_cycles", "cycles", "cycles suspended in Retry inside transactions").Add(r.retryWaitCycles)
+	reg.Counter("txstats.overhead_cycles", "cycles", "committed-tx cycles outside attempts, backoff, and waiting").Add(r.overheadCycles)
+	reg.Counter("txstats.retry_waits", "waits", "Retry suspensions recorded").Add(r.retryWaits)
+	ls := r.latency.Snapshot()
+	reg.WideHistogram("txstats.latency", "cycles", "committed transaction latency, begin to commit").
+		Import(ls.Count, ls.Sum, ls.Max, ls.Buckets)
+	as := r.attempts.Snapshot()
+	reg.Histogram("txstats.attempts", "attempts", "attempts needed per committed transaction").
+		Import(as.Count, as.Sum, as.Max, as.Buckets)
+}

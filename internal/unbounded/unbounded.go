@@ -88,8 +88,14 @@ func (e *exec) Store(addr, val uint64) {
 func (e *exec) Atomic(body func(tm.Tx)) {
 	age := e.s.m.NextAge()
 	cmgr := e.s.CM()
+	p := e.Proc()
+	p.TxLifeBegin()
+	// Attempts run on the hardware path until the starvation escalation
+	// takes the global token; then they are serialized fallback attempts.
+	path := machine.PathHTM
 	aborts := 0
 	for {
+		p.TxLifeAttempt(path)
 		e.onCommit = e.onCommit[:0]
 		e.u.Begin(age)
 		reason, retryReq, aborted := tm.Catch(func() { body(hwTx{e}) })
@@ -97,6 +103,7 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			out := e.u.End()
 			if out.Kind == machine.OK {
 				e.s.stats.HWCommits++
+				p.TxLifeCommit(path)
 				cmgr.TxDone(age)
 				for _, f := range e.onCommit {
 					f()
@@ -109,9 +116,11 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			// No software fallback exists: emulate transactional waiting
 			// by polling re-execution with a long backoff.
 			e.s.stats.Retries++
+			p.TxLifeRetryWait()
 			cmgr.RetryPoll(e.Proc())
 			continue
 		}
+		p.TxLifeAbort(path, reason)
 		if reason == machine.AbortPageFault {
 			// A page fault is not contention: resolve it (touch the page
 			// non-transactionally) with the standard fixed stall and
@@ -128,6 +137,7 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 			// global serialization token (released at commit) so this
 			// transaction stops losing to the whole machine.
 			cmgr.AcquireToken(e.Proc(), age)
+			path = machine.PathFallback
 		}
 	}
 }

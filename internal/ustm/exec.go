@@ -24,6 +24,7 @@ func (e *exec) Proc() *machine.Proc { return e.t.p }
 func (e *exec) Atomic(body func(tm.Tx)) {
 	t := e.t
 	age := t.stm.m.NextAge()
+	t.p.TxLifeBegin()
 	RunTx(t, age, body)
 }
 
@@ -32,26 +33,39 @@ func (e *exec) Atomic(body func(tm.Tx)) {
 // transaction keeps the age it was assigned at its first hardware
 // attempt (which is what makes software transactions "generally older").
 func RunTx(t *Thread, age uint64, body func(tm.Tx)) {
+	// Lifecycle accounting: a strongly-atomic USTM is the hybrid's UFO
+	// failover path; a weakly-atomic one is a plain software path.
+	path := machine.PathSW
+	if t.stm.cfg.StrongAtomicity {
+		path = machine.PathUFO
+	}
 	for {
+		t.p.TxLifeAttempt(path)
 		t.Begin(age)
 		reason, retry, aborted := tm.Catch(func() { body(txHandle{t}) })
 		switch {
 		case !aborted:
 			if t.End() {
 				t.stm.stats.SWCommits++
+				t.p.TxLifeCommit(path)
 				return
 			}
 			// Killed between last barrier and commit: aborted and rolled
 			// back inside End.
 			t.stm.stats.SWAborts++
+			t.p.TxLifeAbort(path, machine.AbortConflict)
 			t.WaitForKiller()
 		case retry:
 			// Woken from transactional waiting: clean up and re-execute.
+			t.p.TxLifeRetryWait()
 			t.FinishRetryWake()
 		default:
-			_ = reason
+			if reason == machine.AbortNone {
+				reason = machine.AbortConflict
+			}
 			t.Rollback()
 			t.stm.stats.SWAborts++
+			t.p.TxLifeAbort(path, reason)
 			t.WaitForKiller()
 		}
 	}
