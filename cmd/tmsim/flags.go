@@ -129,6 +129,15 @@ func (cfg *config) validate() error {
 	default:
 		return fmt.Errorf("unknown scale %q (want small or full)", cfg.scaleName)
 	}
+	// Check system-name flags against the harness registry before
+	// anything else: a typo'd name must produce the valid list (exit 2),
+	// never reach harness.build — even when the flag is otherwise inert
+	// because its destination flag is missing.
+	if cfg.set["trace-system"] {
+		if _, err := harness.ParseSystem(cfg.traceSystem); err != nil {
+			return fmt.Errorf("-trace-system: %w", err)
+		}
+	}
 	known := false
 	for _, e := range knownExperiments {
 		if cfg.experiment == e {
@@ -182,8 +191,8 @@ func (cfg *config) validate() error {
 		if _, ok := harness.FindWorkload(cfg.traceWorkload, cfg.scale()); !ok {
 			return fmt.Errorf("unknown workload %q for -trace-workload", cfg.traceWorkload)
 		}
-		if !knownSystem(cfg.traceSystem) {
-			return fmt.Errorf("unknown system %q for -trace-system", cfg.traceSystem)
+		if _, err := harness.ParseSystem(cfg.traceSystem); err != nil {
+			return fmt.Errorf("-trace-system: %w", err)
 		}
 		if cfg.traceThreads < 1 {
 			return fmt.Errorf("-trace-threads %d: want >= 1", cfg.traceThreads)
@@ -211,12 +220,8 @@ func (cfg *config) validate() error {
 	return nil
 }
 
-// knownSystem reports whether name is a buildable SystemKind.
-func knownSystem(name string) bool {
-	for _, k := range harness.AllSystems {
-		if string(k) == name {
-			return true
-		}
-	}
-	return false
+// system resolves -trace-system (validate has already vetted it).
+func (cfg *config) system() harness.SystemKind {
+	k, _ := harness.ParseSystem(cfg.traceSystem)
+	return k
 }

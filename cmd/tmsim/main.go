@@ -365,7 +365,7 @@ func runTraced(opt harness.Options, scale harness.Scale, cfg *config) error {
 	if !ok {
 		return fmt.Errorf("unknown workload %q", cfg.traceWorkload)
 	}
-	system := harness.SystemKind(cfg.traceSystem)
+	system := cfg.system()
 	opt.TraceLimit = cfg.traceLimit
 	start := time.Now()
 	res := harness.Run(system, f.New(), cfg.traceThreads, opt)

@@ -325,13 +325,17 @@ const (
 // critical section's stores in place while holding a real lock
 // (global-lock always, sle on its acquisition fallback), where a
 // concurrent non-transactional reader observes intermediate state. tl2
-// is serializable-only, not weak: its lazy redo log never exposes
-// uncommitted data, but its commit-time write-back can be straddled.
+// and hybrid-norec are serializable-only, not weak: their lazy redo
+// logs never expose uncommitted data, but their commit-time write-backs
+// can be straddled by a non-transactional reader (hybrid-norec's
+// seqlock only protects transactional peers — hardware transactions
+// abort on the lock-acquisition write, software transactions
+// revalidate — not uninstrumented code).
 func ClassOf(system string) Class {
 	switch system {
 	case "sequential", "unbounded-htm", "ufo-hybrid", "phtm", "ustm+ufo":
 		return ClassStrong
-	case "tl2":
+	case "tl2", "hybrid-norec":
 		return ClassSerializable
 	default: // ustm, hytm, global-lock, sle, and anything new
 		return ClassWeak

@@ -285,6 +285,7 @@ func TestClassOf(t *testing.T) {
 		"ustm":          ClassWeak,
 		"ustm+ufo":      ClassStrong,
 		"tl2":           ClassSerializable,
+		"hybrid-norec":  ClassSerializable,
 		"sle":           ClassWeak,
 	}
 	systems := Systems()

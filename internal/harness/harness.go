@@ -8,11 +8,14 @@
 package harness
 
 import (
+	"fmt"
+
 	"repro/internal/cm"
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/hytm"
 	"repro/internal/machine"
+	"repro/internal/norec"
 	"repro/internal/obs"
 	"repro/internal/phtm"
 	"repro/internal/seq"
@@ -38,11 +41,14 @@ const (
 	USTM         SystemKind = "ustm"
 	USTMUFO      SystemKind = "ustm+ufo"
 	TL2          SystemKind = "tl2"
+	HybridNOrec  SystemKind = "hybrid-norec"
 )
 
-// Figure5Systems are the systems the paper's Figure 5 compares.
+// Figure5Systems are the systems the Figure 5 sweep compares: the
+// paper's six plus HybridNOrec, the value-validating hybrid head-to-head
+// the ROADMAP calls for.
 var Figure5Systems = []SystemKind{
-	UnboundedHTM, UFOHybrid, HyTM, PhTM, USTMUFO, USTM, TL2,
+	UnboundedHTM, UFOHybrid, HyTM, PhTM, USTMUFO, USTM, TL2, HybridNOrec,
 }
 
 // AllSystems lists every buildable SystemKind — the full cross-system
@@ -50,7 +56,20 @@ var Figure5Systems = []SystemKind{
 // system is covered automatically.
 var AllSystems = []SystemKind{
 	Sequential, GlobalLock, UnboundedHTM, UFOHybrid, HyTM, PhTM,
-	USTM, USTMUFO, TL2,
+	USTM, USTMUFO, TL2, HybridNOrec,
+}
+
+// ParseSystem resolves a user-supplied system name (a flag value, a
+// config field) to its SystemKind. Unknown names return an error listing
+// the valid set, so callers can fail with a usable message instead of
+// panicking inside build.
+func ParseSystem(name string) (SystemKind, error) {
+	for _, k := range AllSystems {
+		if string(k) == name {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("unknown system %q (want one of %v)", name, AllSystems)
 }
 
 // Options configures a run.
@@ -135,8 +154,13 @@ func build(kind SystemKind, m *machine.Machine, opt Options) tm.System {
 		return ustm.New(m, cfg)
 	case TL2:
 		return tl2.New(m, tl2.DefaultConfig())
+	case HybridNOrec:
+		return norec.New(m, norec.DefaultConfig())
 	}
-	panic("harness: unknown system " + string(kind))
+	// Reaching here is internal misuse: user-supplied names must go
+	// through ParseSystem, which rejects unknown ones with a usable error.
+	panic("harness: build called with SystemKind " + string(kind) +
+		" that is not in AllSystems; validate names with ParseSystem first")
 }
 
 // Result is one (workload, system, threads) measurement.

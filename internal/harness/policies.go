@@ -7,18 +7,27 @@ import (
 	"repro/internal/cm"
 )
 
-// PolicyRow is one (workload, policy) cell of the contention-management
-// policy ablation: the Figure 5 workload run on the UFO hybrid at the
-// scale's top thread count under one backoff policy.
+// PolicySystems are the hybrids the contention-management ablation
+// compares: the paper's UFO hybrid and HybridNOrec, whose exemplar
+// exposes the same retry/backoff knobs through its CM template
+// parameter — the natural pair for measuring how policy choice
+// interacts with fallback design.
+var PolicySystems = []SystemKind{UFOHybrid, HybridNOrec}
+
+// PolicyRow is one (workload, system, policy) cell of the contention-
+// management policy ablation: the Figure 5 workload run on one
+// PolicySystems hybrid at the scale's top thread count under one
+// backoff policy.
 type PolicyRow struct {
 	Workload  string
+	System    SystemKind
 	Policy    string // -policy flag value: exp | linear | karma | serialize
 	SeqCycles uint64
 	Result    Result
 }
 
 // PolicySweep compares every contention-management policy (cm.Kinds)
-// across the Figure 5 workloads on the paper's UFO hybrid at the
+// across the Figure 5 workloads on each PolicySystems hybrid at the
 // scale's largest thread count. Like every sweep it fans out through
 // the Runner's worker pool and is deterministic for every worker count:
 // each cell owns its machine and instantiates its own policy from the
@@ -29,10 +38,12 @@ func (r *Runner) PolicySweep(opt Options, scale Scale) ([]PolicyRow, error) {
 	var jobs []Job
 	for _, f := range factories {
 		jobs = append(jobs, Job{System: Sequential, Factory: f, Threads: 1, Opt: opt})
-		for _, kind := range cm.Kinds {
-			o := opt
-			o.CM = cm.Spec{Kind: kind}
-			jobs = append(jobs, Job{System: UFOHybrid, Factory: f, Threads: threads, Opt: o})
+		for _, sys := range PolicySystems {
+			for _, kind := range cm.Kinds {
+				o := opt
+				o.CM = cm.Spec{Kind: kind}
+				jobs = append(jobs, Job{System: sys, Factory: f, Threads: threads, Opt: o})
+			}
 		}
 	}
 	results, err := r.Execute(jobs)
@@ -41,30 +52,33 @@ func (r *Runner) PolicySweep(opt Options, scale Scale) ([]PolicyRow, error) {
 	for _, f := range factories {
 		seq := results[i].Cycles
 		i++
-		for _, kind := range cm.Kinds {
-			out = append(out, PolicyRow{
-				Workload:  f.Name,
-				Policy:    string(kind),
-				SeqCycles: seq,
-				Result:    results[i],
-			})
-			i++
+		for _, sys := range PolicySystems {
+			for _, kind := range cm.Kinds {
+				out = append(out, PolicyRow{
+					Workload:  f.Name,
+					System:    sys,
+					Policy:    string(kind),
+					SeqCycles: seq,
+					Result:    results[i],
+				})
+				i++
+			}
 		}
 	}
 	return out, err
 }
 
 // PrintPolicySweep renders the policy comparison as one table per
-// workload: speedup plus the policy's own decision counters (delays
-// issued, cycles spent backing off, starvation escalations) next to the
-// retry/failover counts they drive.
+// (workload, system): speedup plus the policy's own decision counters
+// (delays issued, cycles spent backing off, starvation escalations)
+// next to the retry/failover counts they drive.
 func PrintPolicySweep(w io.Writer, rows []PolicyRow) {
-	workload := ""
+	workload, system := "", SystemKind("")
 	for _, r := range rows {
-		if r.Workload != workload {
-			workload = r.Workload
-			fmt.Fprintf(w, "\nPolicy ablation — %s (ufo-hybrid, speedup vs. sequential; seq = %d cycles)\n",
-				workload, r.SeqCycles)
+		if r.Workload != workload || r.System != system {
+			workload, system = r.Workload, r.System
+			fmt.Fprintf(w, "\nPolicy ablation — %s (%s, speedup vs. sequential; seq = %d cycles)\n",
+				workload, system, r.SeqCycles)
 			fmt.Fprintf(w, "%-11s %8s %10s %12s %12s %10s %10s\n",
 				"policy", "speedup", "hwRetries", "failovers", "delayCycles", "delays", "starved")
 		}

@@ -18,7 +18,7 @@ func TestPolicySweepDeterministicAndComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(Benchmarks(ScaleSmall)) * len(cm.Kinds)
+	want := len(Benchmarks(ScaleSmall)) * len(PolicySystems) * len(cm.Kinds)
 	if len(serial) != want {
 		t.Fatalf("rows = %d, want %d", len(serial), want)
 	}
@@ -28,6 +28,7 @@ func TestPolicySweepDeterministicAndComplete(t *testing.T) {
 	}
 	for i := range serial {
 		if serial[i].Workload != parallel[i].Workload ||
+			serial[i].System != parallel[i].System ||
 			serial[i].Policy != parallel[i].Policy ||
 			serial[i].Result.Cycles != parallel[i].Result.Cycles {
 			t.Fatalf("row %d differs across worker counts:\nserial   %+v\nparallel %+v",
@@ -47,20 +48,30 @@ func TestPolicySweepDeterministicAndComplete(t *testing.T) {
 		t.Fatalf("table missing decision counters:\n%s", out)
 	}
 
-	// The policies genuinely differ: at least one workload must show a
-	// different backoff-cycle total between exp and karma (otherwise the
-	// spec plumbing silently fell back to the default policy).
-	differs := false
-	byKey := map[string]uint64{}
-	for _, r := range serial {
-		byKey[r.Workload+"/"+r.Policy] = r.Result.Metrics.Counter("cm.delay_cycles")
-	}
-	for _, f := range Benchmarks(ScaleSmall) {
-		if byKey[f.Name+"/exp"] != byKey[f.Name+"/karma"] {
-			differs = true
+	// Every ablated system appears in the rendered tables.
+	for _, sys := range PolicySystems {
+		if !strings.Contains(out, "("+string(sys)+",") {
+			t.Fatalf("table missing system %q:\n%s", sys, out)
 		}
 	}
-	if !differs {
-		t.Fatal("exp and karma produced identical delay cycles on every workload: policy spec not applied")
+
+	// The policies genuinely differ: for each system, at least one
+	// workload must show a different backoff-cycle total between exp and
+	// karma (otherwise the spec plumbing silently fell back to the
+	// default policy).
+	byKey := map[string]uint64{}
+	for _, r := range serial {
+		byKey[r.Workload+"/"+string(r.System)+"/"+r.Policy] = r.Result.Metrics.Counter("cm.delay_cycles")
+	}
+	for _, sys := range PolicySystems {
+		differs := false
+		for _, f := range Benchmarks(ScaleSmall) {
+			if byKey[f.Name+"/"+string(sys)+"/exp"] != byKey[f.Name+"/"+string(sys)+"/karma"] {
+				differs = true
+			}
+		}
+		if !differs {
+			t.Fatalf("%s: exp and karma produced identical delay cycles on every workload: policy spec not applied", sys)
+		}
 	}
 }

@@ -1,0 +1,322 @@
+package norec
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/tm"
+	"repro/internal/txstats"
+)
+
+func newMachine(procs int) *machine.Machine {
+	p := machine.DefaultParams(procs)
+	p.MemBytes = 1 << 22
+	return machine.New(p)
+}
+
+// run executes one body per proc through the system's Exec handles.
+func run(m *machine.Machine, s *System, bodies ...func(tm.Exec)) {
+	fns := make([]func(*machine.Proc), len(bodies))
+	for i, body := range bodies {
+		ex := s.Exec(m.Proc(i))
+		b := body
+		fns[i] = func(*machine.Proc) { b(ex) }
+	}
+	m.Run(fns)
+}
+
+// TestSingleProcCommitsInHardware: an uncontended read-modify-write loop
+// stays entirely on the hardware path, and each writing commit bumps the
+// hardware notification counter.
+func TestSingleProcCommitsInHardware(t *testing.T) {
+	m := newMachine(1)
+	s := New(m, DefaultConfig())
+	addr := m.Mem.Sbrk(64)
+	run(m, s, func(ex tm.Exec) {
+		for i := 0; i < 10; i++ {
+			ex.Atomic(func(tx tm.Tx) {
+				tx.Store(addr, tx.Load(addr)+1)
+			})
+		}
+	})
+	if got := m.Mem.Read64(addr); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	if s.stats.HWCommits != 10 || s.stats.SWCommits != 0 || s.stats.Failovers != 0 {
+		t.Fatalf("stats = %+v, want 10 pure hardware commits", s.stats)
+	}
+	if got := m.Mem.Read64(s.htmAddr); got != 10 {
+		t.Fatalf("hardware commit counter = %d, want 10", got)
+	}
+	if got := m.Mem.Read64(s.lockAddr); got != 0 {
+		t.Fatalf("seqlock moved to %d with no software commit", got)
+	}
+	if s.lastWriter != 0 {
+		t.Fatalf("lastWriter = %d, want 0", s.lastWriter)
+	}
+}
+
+// TestReadOnlyHardwareSkipsCounterBump: read-only hardware transactions
+// invalidate no software snapshot, so they must not advance the hardware
+// commit counter (the documented divergence from the exemplar).
+func TestReadOnlyHardwareSkipsCounterBump(t *testing.T) {
+	m := newMachine(1)
+	s := New(m, DefaultConfig())
+	addr := m.Mem.Sbrk(64)
+	var got uint64
+	run(m, s, func(ex tm.Exec) {
+		ex.Atomic(func(tx tm.Tx) { got = tx.Load(addr) })
+	})
+	if got != 0 {
+		t.Fatalf("load = %d", got)
+	}
+	if s.stats.HWCommits != 1 {
+		t.Fatalf("stats = %+v, want one hardware commit", s.stats)
+	}
+	if v := m.Mem.Read64(s.htmAddr); v != 0 {
+		t.Fatalf("hardware commit counter = %d after a read-only commit, want 0", v)
+	}
+}
+
+// TestSoftwareCommitAdvancesSeqlock: a syscall forces the software path;
+// its writing commit advances the seqlock by two (acquire + release),
+// leaves it free, and writes back the redo log.
+func TestSoftwareCommitAdvancesSeqlock(t *testing.T) {
+	m := newMachine(1)
+	s := New(m, DefaultConfig())
+	addr := m.Mem.Sbrk(64)
+	run(m, s, func(ex tm.Exec) {
+		ex.Atomic(func(tx tm.Tx) {
+			tx.Syscall()
+			tx.Store(addr, 7)
+		})
+	})
+	if s.stats.SWCommits != 1 || s.stats.Failovers != 1 {
+		t.Fatalf("stats = %+v, want one failover and one software commit", s.stats)
+	}
+	if got := m.Mem.Read64(addr); got != 7 {
+		t.Fatalf("write-back missing: mem = %d", got)
+	}
+	if s.seq != 2 || m.Mem.Read64(s.lockAddr) != 2 {
+		t.Fatalf("seqlock = %d (mem %d), want 2", s.seq, m.Mem.Read64(s.lockAddr))
+	}
+	if s.lockOwner != -1 {
+		t.Fatalf("lock still owned by %d", s.lockOwner)
+	}
+	if s.lastWriter != 0 {
+		t.Fatalf("lastWriter = %d, want 0", s.lastWriter)
+	}
+	if v := m.Mem.Read64(s.htmAddr); v != 0 {
+		t.Fatalf("hardware counter = %d, want 0 (no hardware commit)", v)
+	}
+}
+
+// TestSoftwareNestedPartialAbort: an aborted closed nest rolls back only
+// its own redo-log entries (lazy versioning partial abort).
+func TestSoftwareNestedPartialAbort(t *testing.T) {
+	m := newMachine(1)
+	s := New(m, DefaultConfig())
+	a := m.Mem.Sbrk(64)
+	b := m.Mem.Sbrk(64)
+	var nested bool
+	run(m, s, func(ex tm.Exec) {
+		ex.Atomic(func(tx tm.Tx) {
+			tx.Syscall() // force the software path (nests flatten in hardware)
+			tx.Store(a, 1)
+			nested = tx.Nested(func() {
+				tx.Store(b, 2)
+				tx.Abort()
+			})
+		})
+	})
+	if nested {
+		t.Fatal("aborted nest reported success")
+	}
+	if m.Mem.Read64(a) != 1 || m.Mem.Read64(b) != 0 {
+		t.Fatalf("mem = a:%d b:%d, want a:1 b:0 (partial abort)", m.Mem.Read64(a), m.Mem.Read64(b))
+	}
+}
+
+// TestRetryFailsOverAndPolls: Retry aborts the hardware attempt (hardware
+// cannot wait), fails over, and polls in software until the producer's
+// store makes the condition pass.
+func TestRetryFailsOverAndPolls(t *testing.T) {
+	m := newMachine(2)
+	s := New(m, DefaultConfig())
+	flag := m.Mem.Sbrk(64)
+	done := m.Mem.Sbrk(64)
+	run(m, s,
+		func(ex tm.Exec) {
+			ex.Proc().Elapse(20_000)
+			ex.Atomic(func(tx tm.Tx) { tx.Store(flag, 1) })
+		},
+		func(ex tm.Exec) {
+			ex.Atomic(func(tx tm.Tx) {
+				if tx.Load(flag) == 0 {
+					tx.Retry()
+				}
+				tx.Store(done, 1)
+			})
+		})
+	if m.Mem.Read64(done) != 1 {
+		t.Fatal("consumer never committed")
+	}
+	if s.stats.Retries == 0 {
+		t.Fatalf("stats = %+v, want retry polls", s.stats)
+	}
+	if s.stats.Failovers == 0 {
+		t.Fatal("Retry should fail over to the software path")
+	}
+}
+
+// edgeLog captures raw conflict edges and commits for tuple assertions.
+type edgeLog struct {
+	edges     []machine.ConflictEdge
+	hwCommits uint64
+	swCommits uint64
+}
+
+func (l *edgeLog) RecordEdge(e machine.ConflictEdge) { l.edges = append(l.edges, e) }
+func (l *edgeLog) RecordCommit(proc int, hw bool, cycle uint64) {
+	if hw {
+		l.hwCommits++
+	} else {
+		l.swCommits++
+	}
+}
+
+// TestHTMAbortsNotStallsDuringWriteback pins the subscription protocol:
+// while proc 0's software commits hold the seqlock and write back a long
+// redo log, proc 1's hardware transactions (touching disjoint data)
+// abort and retry — they never stall, never fail over, and every abort
+// is attributed to the software committer.
+func TestHTMAbortsNotStallsDuringWriteback(t *testing.T) {
+	m := newMachine(2)
+	cfg := DefaultConfig()
+	// Unbounded hardware retries: the pin is that hardware rides out the
+	// write-back purely by aborting and retrying.
+	cfg.MaxHTMRetries = 1 << 30
+	s := New(m, cfg)
+	log := &edgeLog{}
+	m.SetConflictRecorder(log)
+	const lines, swTxs, hwTxs = 16, 4, 60
+	base := m.Mem.Sbrk(64 * lines)
+	mine := m.Mem.Sbrk(64)
+	run(m, s,
+		func(ex tm.Exec) {
+			for k := 0; k < swTxs; k++ {
+				ex.Atomic(func(tx tm.Tx) {
+					tx.Syscall() // force the software path
+					for i := uint64(0); i < lines; i++ {
+						tx.Store(base+64*i, uint64(k)+1)
+					}
+				})
+			}
+		},
+		func(ex tm.Exec) {
+			for k := 0; k < hwTxs; k++ {
+				ex.Atomic(func(tx tm.Tx) {
+					tx.Store(mine, tx.Load(mine)+1)
+				})
+			}
+		})
+	if m.Mem.Read64(mine) != hwTxs {
+		t.Fatalf("proc 1 counter = %d, want %d", m.Mem.Read64(mine), hwTxs)
+	}
+	if log.swCommits != swTxs || s.stats.SWCommits != swTxs {
+		t.Fatalf("software commits = %d/%d, want %d", log.swCommits, s.stats.SWCommits, swTxs)
+	}
+	// The pin: every proc-1 transaction still commits in hardware...
+	if log.hwCommits != hwTxs || s.stats.HWCommits != hwTxs {
+		t.Fatalf("hardware commits = %d/%d, want %d (no failover, no stall)",
+			log.hwCommits, s.stats.HWCommits, hwTxs)
+	}
+	if s.stats.Failovers != uint64(swTxs) {
+		t.Fatalf("failovers = %d, want only proc 0's forced %d", s.stats.Failovers, swTxs)
+	}
+	// ...but only after aborting during the write-back windows.
+	if s.stats.HWRetries == 0 {
+		t.Fatal("no hardware retries: the write-back never aborted a hardware transaction")
+	}
+	sawLockEdge := false
+	conflicts := 0
+	for _, e := range log.edges {
+		if e.Reason == machine.AbortSyscall {
+			continue // proc 0's forced-failover self-edge
+		}
+		conflicts++
+		if e.Victim != 1 || e.Aggressor != 0 {
+			t.Fatalf("unexpected edge direction: %+v", e)
+		}
+		if e.Reason != machine.AbortConflict && e.Reason != machine.AbortNonTConflict {
+			t.Fatalf("unexpected abort reason: %+v", e)
+		}
+		if e.HasAddr && e.Addr == s.lockAddr {
+			sawLockEdge = true
+		}
+	}
+	if conflicts == 0 {
+		t.Fatal("no conflict edges recorded")
+	}
+	if !sawLockEdge {
+		t.Fatalf("no edge on the seqlock line %#x; edges = %+v", s.lockAddr, log.edges)
+	}
+}
+
+// TestColliderAccountingIdentities: a two-proc same-line collision with
+// lifecycle accounting attached satisfies the exact txstats identities
+// (everything begun commits; the cycle split sums to total latency;
+// attributed plus unknown wasted cycles equal total wasted) and records
+// one commit per transaction with the contention recorder.
+func TestColliderAccountingIdentities(t *testing.T) {
+	m := newMachine(2)
+	s := New(m, DefaultConfig())
+	log := &edgeLog{}
+	m.SetConflictRecorder(log)
+	rec := txstats.New(2)
+	m.SetTxRecorder(rec)
+	const iters = 12
+	addr := m.Mem.Sbrk(64)
+	body := func(ex tm.Exec) {
+		for k := 0; k < iters; k++ {
+			ex.Atomic(func(tx tm.Tx) {
+				v := tx.Load(addr)
+				ex.Proc().Elapse(200)
+				tx.Store(addr, v+1)
+			})
+		}
+	}
+	run(m, s, body, body)
+	if got := m.Mem.Read64(addr); got != 2*iters {
+		t.Fatalf("collider count = %d, want %d", got, 2*iters)
+	}
+	if total := log.hwCommits + log.swCommits; total != 2*iters {
+		t.Fatalf("%d commits recorded, want %d", total, 2*iters)
+	}
+	rep := rec.Report()
+	if rep.Begun != 2*iters || rep.Committed != 2*iters || rep.InFlight != 0 {
+		t.Fatalf("begun/committed/in-flight = %d/%d/%d, want %d/%d/0",
+			rep.Begun, rep.Committed, rep.InFlight, 2*iters, 2*iters)
+	}
+	split := rep.UsefulCycles + rep.WastedCycles + rep.BackoffCycles +
+		rep.RetryWaitCycles + rep.OverheadCycles
+	if rep.Latency == nil || split != rep.Latency.Sum {
+		t.Fatalf("cycle split %d != latency sum %v", split, rep.Latency)
+	}
+	var attributed uint64
+	for _, pc := range rep.AggressorWasted {
+		attributed += pc.Cycles
+	}
+	if attributed+rep.UnknownWasted != rep.WastedCycles {
+		t.Fatalf("attributed %d + unknown %d != wasted %d",
+			attributed, rep.UnknownWasted, rep.WastedCycles)
+	}
+	for _, e := range log.edges {
+		if e.Victim < 0 || e.Victim > 1 || e.Aggressor < -1 || e.Aggressor > 1 {
+			t.Fatalf("malformed edge: %+v", e)
+		}
+		if e.Reason == machine.AbortNone {
+			t.Fatalf("edge without reason: %+v", e)
+		}
+	}
+}
