@@ -9,6 +9,7 @@ import (
 	"repro/internal/contention"
 	"repro/internal/harness"
 	"repro/internal/machine"
+	"repro/internal/oltp"
 )
 
 // config carries every tmsim flag value plus the set of flags the user
@@ -37,6 +38,13 @@ type config struct {
 
 	litmusOut string
 
+	oltpOut     string
+	oltpArrival string
+	oltpTheta   float64
+	oltpReadPct int
+	oltpRMWPct  int
+	oltpScanPct int
+
 	contentionOut    string
 	contentionTopK   int
 	timeseriesWindow uint64
@@ -51,7 +59,7 @@ type config struct {
 // knownExperiments are the -experiment values main dispatches on.
 var knownExperiments = []string{
 	"params", "fig5", "fig6", "fig7", "fig8", "ablate", "extended",
-	"footprints", "policies", "litmus", "latency", "scale", "all",
+	"footprints", "policies", "litmus", "latency", "scale", "oltp", "all",
 }
 
 // parseConfig parses argv (without the program name), records which
@@ -80,6 +88,12 @@ func parseConfig(args []string, errOut io.Writer) (*config, error) {
 	fs.IntVar(&cfg.traceThreads, "trace-threads", 4, "thread count for the traced cell")
 	fs.IntVar(&cfg.traceLimit, "trace-limit", 1<<20, "max trace events retained (ring buffer)")
 	fs.StringVar(&cfg.litmusOut, "litmus-out", "", "also write the litmus conformance report as JSON to this file")
+	fs.StringVar(&cfg.oltpOut, "oltp-out", "", "also write the open-loop service (tmsim-oltp/v1) report as JSON to this file")
+	fs.StringVar(&cfg.oltpArrival, "oltp-arrival", "poisson", "oltp arrival process: poisson | mmpp")
+	fs.Float64Var(&cfg.oltpTheta, "oltp-theta", 0.9, "oltp default Zipfian skew (the load and mix axes run at this theta)")
+	fs.IntVar(&cfg.oltpReadPct, "oltp-read-pct", 80, "oltp default point-read percentage (read+rmw+scan must sum to 100)")
+	fs.IntVar(&cfg.oltpRMWPct, "oltp-rmw-pct", 15, "oltp default read-modify-write percentage")
+	fs.IntVar(&cfg.oltpScanPct, "oltp-scan-pct", 5, "oltp default range-scan percentage")
 	fs.StringVar(&cfg.contentionOut, "contention-out", "", "write the conflict-attribution (contention) report to this file")
 	fs.IntVar(&cfg.contentionTopK, "contention-topk", contention.DefaultTopK, "hot cache lines kept per cell in the contention report")
 	fs.Uint64Var(&cfg.timeseriesWindow, "timeseries-window", 100_000, "contention time-series window width in simulated cycles")
@@ -180,6 +194,34 @@ func (cfg *config) validate() error {
 		return fmt.Errorf("-litmus-out requires -experiment litmus (or all)")
 	}
 
+	// The -oltp-* flags only mean something under -experiment oltp
+	// (which is deliberately not part of "all").
+	if cfg.experiment != "oltp" {
+		for _, f := range []string{"oltp-out", "oltp-arrival", "oltp-theta", "oltp-read-pct", "oltp-rmw-pct", "oltp-scan-pct"} {
+			if cfg.set[f] {
+				return fmt.Errorf("-%s requires -experiment oltp", f)
+			}
+		}
+	} else {
+		if _, err := oltp.ParseArrival(cfg.oltpArrival); err != nil {
+			return fmt.Errorf("-oltp-arrival: %w", err)
+		}
+		if cfg.oltpTheta < 0 {
+			return fmt.Errorf("-oltp-theta %v: want >= 0", cfg.oltpTheta)
+		}
+		for _, pc := range []struct {
+			name string
+			v    int
+		}{{"oltp-read-pct", cfg.oltpReadPct}, {"oltp-rmw-pct", cfg.oltpRMWPct}, {"oltp-scan-pct", cfg.oltpScanPct}} {
+			if pc.v < 0 || pc.v > 100 {
+				return fmt.Errorf("-%s %d: want 0..100", pc.name, pc.v)
+			}
+		}
+		if sum := cfg.oltpReadPct + cfg.oltpRMWPct + cfg.oltpScanPct; sum != 100 {
+			return fmt.Errorf("-oltp-read-pct + -oltp-rmw-pct + -oltp-scan-pct must sum to 100 (got %d)", sum)
+		}
+	}
+
 	// Trace flags only mean something with a trace destination.
 	if cfg.traceOut == "" {
 		for _, f := range []string{"trace-format", "trace-workload", "trace-system", "trace-threads", "trace-limit"} {
@@ -224,4 +266,17 @@ func (cfg *config) validate() error {
 func (cfg *config) system() harness.SystemKind {
 	k, _ := harness.ParseSystem(cfg.traceSystem)
 	return k
+}
+
+// oltpSweep resolves the -oltp-* flags (validate has already vetted
+// them) into the sweep shape.
+func (cfg *config) oltpSweep() harness.OLTPSweepConfig {
+	kind, _ := oltp.ParseArrival(cfg.oltpArrival)
+	return harness.OLTPSweepConfig{
+		Arrival: kind,
+		Theta:   cfg.oltpTheta,
+		ReadPct: cfg.oltpReadPct,
+		RMWPct:  cfg.oltpRMWPct,
+		ScanPct: cfg.oltpScanPct,
+	}
 }

@@ -46,6 +46,17 @@ func TestParseConfigValidation(t *testing.T) {
 		{"bad trace threads", []string{"-trace-out", "t.json", "-trace-threads", "0"}, "-trace-threads"},
 		{"bad trace limit", []string{"-trace-out", "t.json", "-trace-limit", "0"}, "-trace-limit"},
 
+		{"oltp sweep", []string{"-experiment", "oltp", "-scale", "small", "-oltp-out", "o.json"}, ""},
+		{"oltp tuned", []string{"-experiment", "oltp", "-oltp-arrival", "mmpp", "-oltp-theta", "1.2",
+			"-oltp-read-pct", "50", "-oltp-rmw-pct", "45", "-oltp-scan-pct", "5"}, ""},
+		{"oltp-out without oltp", []string{"-oltp-out", "o.json"}, "-oltp-out requires -experiment oltp"},
+		{"oltp-arrival without oltp", []string{"-oltp-arrival", "mmpp"}, "-oltp-arrival requires -experiment oltp"},
+		{"oltp-theta without oltp", []string{"-experiment", "fig5", "-oltp-theta", "0.5"}, "-oltp-theta requires -experiment oltp"},
+		{"unknown arrival process", []string{"-experiment", "oltp", "-oltp-arrival", "uniform"}, "unknown arrival process"},
+		{"negative theta", []string{"-experiment", "oltp", "-oltp-theta", "-0.1"}, "-oltp-theta"},
+		{"pct out of range", []string{"-experiment", "oltp", "-oltp-read-pct", "120"}, "-oltp-read-pct"},
+		{"mix does not sum", []string{"-experiment", "oltp", "-oltp-read-pct", "50", "-oltp-rmw-pct", "20", "-oltp-scan-pct", "5"}, "must sum to 100"},
+
 		{"report without contention-out", []string{"-report", "html"}, "-report requires -contention-out"},
 		{"topk without contention-out", []string{"-contention-topk", "4"}, "-contention-topk requires -contention-out"},
 		{"window without contention-out", []string{"-timeseries-window", "1000"}, "-timeseries-window requires -contention-out"},

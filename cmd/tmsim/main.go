@@ -12,9 +12,12 @@
 //	tmsim -experiment latency # per-transaction latency percentiles and
 //	                          # wasted-work attribution over the fig5 sweep
 //	tmsim -experiment scale  # scaling study: scalemix at 64/128/256 simulated processors
+//	tmsim -experiment oltp   # open-loop KV/OLTP service: response-time
+//	                         # percentiles, goodput vs offered load, and
+//	                         # saturation knees across load/skew/mix axes
 //	tmsim -experiment params # Table 4: simulation parameters
-//	tmsim -experiment all    # everything above except latency and scale
-//	                         # (supplements, not paper artifacts)
+//	tmsim -experiment all    # everything above except latency, scale, and
+//	                         # oltp (supplements, not paper artifacts)
 //
 // -scale small runs quick versions; -scale full (default) runs the sizes
 // recorded in EXPERIMENTS.md. Runs are deterministic for a given -seed.
@@ -63,6 +66,16 @@
 //	    wasted-cycle attribution — plus the deterministic aggregate as
 //	    JSON (byte-identical for every -parallel value). -txstats-out
 //	    composes with any experiment and with -trace-out.
+//	tmsim -experiment oltp -oltp-out oltp.json
+//	    also writes the open-loop service report (tmsim-oltp/v1): per
+//	    (axis point, system) offered load, goodput, utilization, and
+//	    P50/P90/P99/P99.9 response time (arrival to commit), plus
+//	    per-system saturation knees. -oltp-arrival picks poisson or mmpp
+//	    arrivals; -oltp-theta and -oltp-{read,rmw,scan}-pct set the
+//	    default skew and request mix the load axis runs at. Byte-identical
+//	    for every -parallel value and -sched engine. -txstats-out and
+//	    -contention-out compose with it (lifecycle accounting and conflict
+//	    attribution are always on for this experiment).
 //	tmsim -trace-out t.json -trace-format chrome [-trace-workload genome
 //	      -trace-system ufo-hybrid -trace-threads 4]
 //	    runs that single cell with machine tracing and exports the trace
@@ -225,6 +238,17 @@ func main() {
 			d, err := runner.ScaleSweep(opt, scale)
 			harness.PrintScaleSweep(os.Stdout, d, scale)
 			fail(err)
+		case "oltp":
+			rep, err := runner.OLTP(opt, scale, cfg.oltpSweep())
+			harness.PrintOLTP(os.Stdout, rep)
+			fail(err)
+			if cfg.oltpOut != "" {
+				f, err := os.Create(cfg.oltpOut)
+				fail(err)
+				fail(rep.WriteJSON(f))
+				fail(f.Close())
+				fmt.Printf("  [oltp report for %d points written to %s]\n", len(rep.Points), cfg.oltpOut)
+			}
 		case "litmus":
 			lc := litmus.FullConfig()
 			if scale == harness.ScaleSmall {

@@ -99,7 +99,7 @@ func ReadMetricsReport(r io.Reader) (*MetricsReport, error) {
 // extension benchmark sets at the given scale.
 func FindWorkload(name string, scale Scale) (WorkloadFactory, bool) {
 	all := append(Benchmarks(scale), ExtendedBenchmarks(scale)...)
-	for _, f := range append(all, ScaleBenchmark(scale)) {
+	for _, f := range append(all, ScaleBenchmark(scale), OLTPBenchmark(scale)) {
 		if f.Name == name {
 			return f, true
 		}

@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/oltp"
+)
+
+// oltpSmallReport runs the small sweep once with the test footprint.
+func oltpSmallReport(t *testing.T, r *Runner) (*OLTPReport, []byte) {
+	t.Helper()
+	rep, err := r.OLTP(testOptions(), ScaleSmall, DefaultOLTPSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rep, buf.Bytes()
+}
+
+// TestOLTPReportBitIdentical is the acceptance pin for the service sweep:
+// the encoded tmsim-oltp/v1 report must be byte-identical across sweep
+// worker counts and across the engine schedulers — the same contract the
+// Figure 5 and scale sweeps carry.
+func TestOLTPReportBitIdentical(t *testing.T) {
+	_, ref := oltpSmallReport(t, Serial())
+
+	if _, got := oltpSmallReport(t, Parallel(8)); !bytes.Equal(ref, got) {
+		t.Error("report differs between -parallel 1 and -parallel 8 sweeps")
+	}
+	for _, sched := range []string{"reference", "parallel"} {
+		r := Parallel(4)
+		opt := testOptions()
+		opt.Params.ReferenceScheduler = sched == "reference"
+		opt.Params.ParallelScheduler = sched == "parallel"
+		rep, err := r.OLTP(opt, ScaleSmall, DefaultOLTPSweep())
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Errorf("report differs under the %s scheduler", sched)
+		}
+	}
+}
+
+// TestOLTPReportSane checks the service-level invariants the CI smoke job
+// also enforces: every point committed its full trace, goodput never
+// exceeds the offered load, response percentiles are monotone, and every
+// system gets a knee row.
+func TestOLTPReportSane(t *testing.T) {
+	rep, _ := oltpSmallReport(t, Parallel(4))
+	if rep.Schema != OLTPSchemaVersion {
+		t.Fatalf("schema %q, want %q", rep.Schema, OLTPSchemaVersion)
+	}
+	if want := len(OLTPSystems) * (len(OLTPLoadGaps(ScaleSmall)) + len(OLTPSkewThetas(ScaleSmall)) + len(OLTPMixes(ScaleSmall))); len(rep.Points) != want {
+		t.Fatalf("%d points, want %d", len(rep.Points), want)
+	}
+	for _, pt := range rep.Points {
+		if pt.Err != "" {
+			t.Errorf("%s %s: %s", pt.System, pt.Axis, pt.Err)
+			continue
+		}
+		if pt.Committed != pt.Requests {
+			t.Errorf("%s %s gap=%d: committed %d of %d requests", pt.System, pt.Axis, pt.MeanGap, pt.Committed, pt.Requests)
+		}
+		if pt.Goodput > pt.Offered*(1+1e-9) {
+			t.Errorf("%s %s gap=%d: goodput %.4f exceeds offered %.4f", pt.System, pt.Axis, pt.MeanGap, pt.Goodput, pt.Offered)
+		}
+		pc := pt.Response
+		if pc == nil {
+			t.Errorf("%s %s: no response percentiles", pt.System, pt.Axis)
+			continue
+		}
+		if !(pc.P50 <= pc.P90 && pc.P90 <= pc.P99 && pc.P99 <= pc.P999) {
+			t.Errorf("%s %s: percentiles not monotone: %.0f %.0f %.0f %.0f",
+				pt.System, pt.Axis, pc.P50, pc.P90, pc.P99, pc.P999)
+		}
+	}
+	if len(rep.Knees) != len(OLTPSystems) {
+		t.Fatalf("%d knee rows, want %d", len(rep.Knees), len(OLTPSystems))
+	}
+	for i, k := range rep.Knees {
+		if k.System != OLTPSystems[i] {
+			t.Errorf("knee %d is %s, want %s", i, k.System, OLTPSystems[i])
+		}
+	}
+}
+
+// TestOLTPReportRoundTrip: WriteJSON output reads back equal, and foreign
+// schemas are rejected.
+func TestOLTPReportRoundTrip(t *testing.T) {
+	rep, raw := oltpSmallReport(t, Serial())
+	got, err := ReadOLTPReport(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := got.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again.Bytes()) {
+		t.Error("round-tripped report re-encodes differently")
+	}
+	if got.Seed != rep.Seed || len(got.Points) != len(rep.Points) {
+		t.Error("round-tripped report lost fields")
+	}
+	if _, err := ReadOLTPReport(strings.NewReader(`{"schema":"tmsim-oltp/v0"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}
+
+// TestOLTPHotKeyCollider pins conflict attribution for the service
+// workload: two serving processors hammering a single-key store with pure
+// RMW traffic must produce conflict edges, and the hottest line must be
+// the one holding that key's record.
+func TestOLTPHotKeyCollider(t *testing.T) {
+	cfg := oltp.Config{
+		Keys: 1, RequestsPerProc: 60, Theta: 0,
+		ReadPct: 0, RMWPct: 100, ScanPct: 0,
+		ScanLen: 1, MeanGap: 40, Arrival: oltp.ArrivalPoisson, Seed: 17,
+	}
+	w := oltp.New(cfg)
+	opt := testOptions()
+	opt.TxStats = true
+	opt.Contention = true
+	res := Run(USTM, w, 2, opt)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	prof := res.Contention
+	if prof == nil || prof.Edges == 0 {
+		t.Fatal("hot-key collider produced no conflict edges")
+	}
+	if len(prof.HotLines) == 0 {
+		t.Fatal("no hot lines attributed")
+	}
+	if hot, want := prof.HotLines[0].Addr, w.RecordAddr(1); hot != want {
+		t.Errorf("hottest line %#x, want the key-1 record line %#x", hot, want)
+	}
+	top := prof.HotLines[0]
+	if len(top.Aggressors) == 0 || len(top.Victims) == 0 {
+		t.Error("hot line missing aggressor/victim attribution")
+	}
+}
+
+// TestOLTPPrintStable: rendering is a pure function of the report.
+func TestOLTPPrintStable(t *testing.T) {
+	rep, _ := oltpSmallReport(t, Serial())
+	var a, b bytes.Buffer
+	PrintOLTP(&a, rep)
+	PrintOLTP(&b, rep)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("PrintOLTP is not deterministic")
+	}
+	for _, want := range []string{"offered load", "Zipfian skew", "request mix", "saturation knees"} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("rendered sweep missing %q section", want)
+		}
+	}
+}
+
+// TestFindWorkloadOLTP: the service workload is addressable like any
+// STAMP benchmark, for -trace-workload and the perf suite.
+func TestFindWorkloadOLTP(t *testing.T) {
+	f, ok := FindWorkload("oltp", ScaleSmall)
+	if !ok || f.Name != "oltp" {
+		t.Fatal("FindWorkload does not surface oltp")
+	}
+	if got := f.New().Name(); got != "oltp" {
+		t.Fatalf("factory builds workload %q", got)
+	}
+}

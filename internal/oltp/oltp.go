@@ -1,0 +1,305 @@
+// Package oltp models a production transactional KV/OLTP service as an
+// open-loop workload: simulated clients issue requests under Poisson or
+// bursty MMPP arrival processes with Zipfian key skew over a txlib
+// hash+tree store, mixing point-reads, read-modify-writes, and
+// range-scans. Unlike the closed-loop STAMP ports (§5.2), arrivals are
+// independent of completions — a request's arrival timestamp is fixed by
+// the trace, so a backlogged processor accrues queueing delay and the
+// txstats recorder can report true response time (queueing + service),
+// the quantity a service SLO is written against. The hot-key skew and
+// stampede-shaped bursts exercise exactly the contention regime where
+// the paper's hybrid designs (§5.3's failover microbenchmark hints at
+// it) differ most.
+//
+// Every request is serviced by exactly one committed transaction
+// (tm.Exec.Atomic retries until commit), so the workload validates an
+// exact invariant: each record's final value equals its initial value
+// plus the sum of all RMW deltas addressed to it across every trace.
+package oltp
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/tm"
+	"repro/internal/txlib"
+)
+
+// Op is a request kind in the service mix.
+type Op uint8
+
+// The three request kinds: point-read of one record, read-modify-write
+// of one record, and an ordered range-scan of ScanLen records.
+const (
+	OpRead Op = iota
+	OpRMW
+	OpScan
+)
+
+// Request is one pre-generated client request. Arrival is the cycle the
+// simulated client issued it; the servicing processor may reach it later
+// (queueing delay). Traces are a pure function of (Config, proc), so a
+// proc's request stream is identical at every thread count, scheduler,
+// and -parallel worker count.
+type Request struct {
+	Arrival uint64 // issue cycle of the open-loop client
+	Op      Op
+	Key     uint64 // Zipf-drawn key in [1, Keys]; scan lower bound for OpScan
+	Delta   uint64 // RMW increment
+}
+
+// Config fixes the service shape. All randomness derives from Seed, so
+// equal configs generate byte-identical traces.
+type Config struct {
+	Keys            int         // distinct records in the store
+	RequestsPerProc int         // open-loop trace length per processor
+	Theta           float64     // Zipfian skew (0 = uniform)
+	ReadPct         int         // percentage of point-reads
+	RMWPct          int         // percentage of read-modify-writes
+	ScanPct         int         // percentage of range-scans (rest of 100)
+	ScanLen         int         // records visited per range-scan
+	MeanGap         uint64      // mean interarrival gap per client stream, cycles
+	Arrival         ArrivalKind // poisson or mmpp
+	Seed            uint64
+}
+
+// seed-stream salts: one independent sim.Rand stream per purpose, so
+// adding a draw to one stream never shifts another.
+const (
+	seedTrace = 0x9E37_79B9 // per-proc request traces (salted by proc)
+	seedStore = 0x7F4A_7C15 // store-population insertion order
+)
+
+// reqOverheadCycles is the charged non-transactional cost of picking up
+// one request (parse + dispatch) before its transaction starts.
+const reqOverheadCycles = 24
+
+// norm fills defaults so zero-ish configs still run.
+func (c Config) norm() Config {
+	if c.Keys < 1 {
+		c.Keys = 1
+	}
+	if c.RequestsPerProc < 0 {
+		c.RequestsPerProc = 0
+	}
+	if c.ScanLen < 1 {
+		c.ScanLen = 1
+	}
+	if c.MeanGap < 1 {
+		c.MeanGap = 1
+	}
+	if c.Arrival == "" {
+		c.Arrival = ArrivalPoisson
+	}
+	if c.ReadPct+c.RMWPct+c.ScanPct != 100 {
+		c.ReadPct, c.RMWPct, c.ScanPct = 80, 15, 5
+	}
+	return c
+}
+
+// Trace generates proc's request stream: interarrival gaps from the
+// configured arrival process, keys from the Zipf distribution, ops from
+// the mix percentages. Pure function of (Config, proc) — it allocates
+// its own seeded generators — so harness-side load accounting and the
+// in-run workload see identical streams.
+func (c Config) Trace(proc int) []Request {
+	c = c.norm()
+	r := sim.NewRand(c.Seed*1_000_003 + uint64(proc)*2_654_435_761 + seedTrace)
+	z := newZipf(c.Keys, c.Theta, r)
+	ar := newArrival(c.Arrival, c.MeanGap, r)
+	reqs := make([]Request, c.RequestsPerProc)
+	now := uint64(0)
+	for i := range reqs {
+		now += ar.next()
+		key := z.next()
+		mix := r.Intn(100)
+		delta := r.Uint64()%997 + 1
+		var op Op
+		switch {
+		case mix < c.ReadPct:
+			op = OpRead
+		case mix < c.ReadPct+c.RMWPct:
+			op = OpRMW
+		default:
+			op = OpScan
+		}
+		reqs[i] = Request{Arrival: now, Op: op, Key: key, Delta: delta}
+	}
+	return reqs
+}
+
+// Offered reports the realized offered load of a threads-proc run: the
+// total request count and the span (cycles from 0 to the last arrival
+// across all streams). Because it regenerates the same pure traces the
+// run will execute, offered load derived from it is exact — and since a
+// run cannot finish before its last arrival, goodput computed against
+// run cycles can never exceed it.
+func (c Config) Offered(threads int) (requests, span uint64) {
+	for i := 0; i < threads; i++ {
+		tr := c.Trace(i)
+		requests += uint64(len(tr))
+		if n := len(tr); n > 0 && tr[n-1].Arrival > span {
+			span = tr[n-1].Arrival
+		}
+	}
+	return requests, span
+}
+
+// Workload is the open-loop service benchmark; it satisfies
+// stamp.Workload structurally, so the harness drives it like any STAMP
+// port.
+type Workload struct {
+	cfg Config
+
+	hash    txlib.Hash
+	tree    txlib.Tree
+	records []uint64 // records[k-1] = line address of key k's record
+	traces  [][]Request
+	threads int
+}
+
+// New builds the workload for cfg (normalized).
+func New(cfg Config) *Workload { return &Workload{cfg: cfg.norm()} }
+
+// Name identifies the workload in reports.
+func (w *Workload) Name() string { return "oltp" }
+
+// Config returns the normalized configuration the workload runs.
+func (w *Workload) Config() Config { return w.cfg }
+
+// RecordAddr returns the simulated address of key's record line (tests
+// use it to assert contention attribution to the hot line).
+func (w *Workload) RecordAddr(key uint64) uint64 { return w.records[key-1] }
+
+// initialValue is key k's store value before any request runs.
+func initialValue(key uint64) uint64 { return key*3 + 1 }
+
+// Init populates the store: one line-aligned record per key (value at
+// word 0) indexed by both a chained hash (point lookups) and a BST
+// (ordered scans). Insertion order is a seeded shuffle so the unbalanced
+// tree stays at its expected O(log n) depth.
+func (w *Workload) Init(m *machine.Machine, threads int) {
+	c := w.cfg
+	w.threads = threads
+	via := txlib.Direct{M: m}
+	arena := txlib.NewArena(m, nil, uint64(c.Keys+64)*4*mem.LineBytes)
+
+	buckets := uint64(1)
+	for buckets*2 <= uint64(c.Keys) {
+		buckets *= 2
+	}
+	w.hash = txlib.NewHash(via, arena, buckets)
+	w.tree = txlib.NewTree(via, arena)
+
+	order := make([]uint64, c.Keys)
+	for i := range order {
+		order[i] = uint64(i + 1)
+	}
+	r := sim.NewRand(c.Seed*1_000_003 + seedStore)
+	for i := len(order) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+
+	w.records = make([]uint64, c.Keys)
+	for _, key := range order {
+		rec := arena.Alloc(8) // line-aligned: one record per line
+		via.Store(rec, initialValue(key))
+		w.records[key-1] = rec
+		w.hash.Insert(via, arena, key, rec)
+		w.tree.Insert(via, arena, key, rec)
+	}
+
+	w.traces = make([][]Request, threads)
+	for i := 0; i < threads; i++ {
+		w.traces[i] = c.Trace(i)
+	}
+}
+
+// Thread replays proc i's request trace. For each request the proc
+// advances to the arrival cycle if idle (ElapseUntil is a no-op when
+// backlogged — that is where queueing delay comes from), tags the
+// transaction with the arrival timestamp for response-time accounting,
+// then services the request in exactly one committed transaction. All
+// randomness was pre-drawn into the trace, so transaction bodies are
+// idempotent under re-execution.
+func (w *Workload) Thread(i int, ex tm.Exec) {
+	p := ex.Proc()
+	scanLen := w.cfg.ScanLen
+	for _, rq := range w.traces[i] {
+		p.ElapseUntil(rq.Arrival)
+		p.TxLifeArrival(rq.Arrival)
+		p.Elapse(reqOverheadCycles)
+		switch rq.Op {
+		case OpRead:
+			ex.Atomic(func(tx tm.Tx) {
+				if rec, ok := w.hash.Get(tx, rq.Key); ok {
+					_ = tx.Load(rec)
+				}
+			})
+		case OpRMW:
+			ex.Atomic(func(tx tm.Tx) {
+				if rec, ok := w.hash.Get(tx, rq.Key); ok {
+					tx.Store(rec, tx.Load(rec)+rq.Delta)
+				}
+			})
+		case OpScan:
+			ex.Atomic(func(tx tm.Tx) {
+				left := scanLen
+				w.tree.Scan(tx, rq.Key, func(_, rec, _ uint64) bool {
+					_ = tx.Load(rec)
+					left--
+					return left > 0
+				})
+			})
+		}
+	}
+}
+
+// Validate checks the exact end-state invariant: every record holds its
+// initial value plus the sum of all RMW deltas addressed to its key
+// (each request commits exactly once), and the hash and tree agree with
+// the record table.
+func (w *Workload) Validate(m *machine.Machine) error {
+	c := w.cfg
+	via := txlib.Direct{M: m}
+
+	want := make([]uint64, c.Keys)
+	for k := range want {
+		want[k] = initialValue(uint64(k + 1))
+	}
+	for i := 0; i < w.threads; i++ {
+		for _, rq := range w.traces[i] {
+			if rq.Op == OpRMW {
+				want[rq.Key-1] += rq.Delta
+			}
+		}
+	}
+
+	for k := 0; k < c.Keys; k++ {
+		key := uint64(k + 1)
+		rec := w.records[k]
+		if got := via.Load(rec); got != want[k] {
+			return validErr("key %d: record value %d, want %d", key, got, want[k])
+		}
+		if hr, ok := w.hash.Get(via, key); !ok || hr != rec {
+			return validErr("key %d: hash lookup (%d,%v), want record %d", key, hr, ok, rec)
+		}
+		if tr, ok := w.tree.Get(via, key); !ok || tr != rec {
+			return validErr("key %d: tree lookup (%d,%v), want record %d", key, tr, ok, rec)
+		}
+	}
+	if n := w.hash.Len(via); n != c.Keys {
+		return validErr("hash has %d entries, want %d", n, c.Keys)
+	}
+	if n := w.tree.Len(via); n != c.Keys {
+		return validErr("tree has %d entries, want %d", n, c.Keys)
+	}
+	return nil
+}
+
+func validErr(format string, args ...any) error {
+	return fmt.Errorf("oltp: "+format, args...)
+}

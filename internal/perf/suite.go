@@ -104,6 +104,37 @@ func Suite() []Bench {
 		})
 	}
 
+	// Service-workload entries: the whole small oltp sweep (all three
+	// axes x all systems, the -experiment oltp hot path) plus one
+	// per-system cell at the default sweep shape. Informational for now —
+	// ungated until a few BENCH_*.json snapshots establish how noisy the
+	// open-loop cells are (the later-gating plan is in EXPERIMENTS.md).
+	benches = append(benches, Bench{
+		Name: "oltp/sweep",
+		Op: func() uint64 {
+			rep, err := harness.Serial().OLTP(opt, scale, harness.DefaultOLTPSweep())
+			if err != nil {
+				panic(fmt.Sprintf("perf: oltp sweep failed: %v", err))
+			}
+			var cycles uint64
+			for _, pt := range rep.Points {
+				cycles += pt.Cycles
+			}
+			return cycles
+		},
+	})
+	oltpF := harness.OLTPBenchmark(scale)
+	oltpThreads := harness.OLTPThreads(scale)
+	oopt := opt
+	oopt.TxStats = true
+	for _, sys := range harness.Figure5Systems {
+		sys := sys
+		benches = append(benches, Bench{
+			Name: fmt.Sprintf("oltp/cell/%s/t%d", sys, oltpThreads),
+			Op:   func() uint64 { return runCell(sys, oltpF, oltpThreads, oopt) },
+		})
+	}
+
 	benches = append(benches, Bench{
 		Name: "engine/handoff/t2",
 		Op: func() uint64 {

@@ -160,6 +160,39 @@ func (t Tree) unlink(via Mem, cell, n uint64) {
 	}
 }
 
+// Scan visits pairs with key >= lo in ascending key order, passing each
+// node's key, value, and node address to f, and stops when f returns
+// false. It returns the number of pairs visited. Unlike ForEach it is
+// meant to run inside transactions: the visit is bounded by f, so the
+// transactional footprint is the root-to-lo path plus the visited nodes
+// — the range-scan shape OLTP workloads need.
+func (t Tree) Scan(via Mem, lo uint64, f func(key, val, node uint64) bool) int {
+	visited := 0
+	more := true
+	t.scan(via, via.Load(t.rootCell), lo, f, &visited, &more)
+	return visited
+}
+
+func (t Tree) scan(via Mem, n, lo uint64, f func(key, val, node uint64) bool, visited *int, more *bool) {
+	if n == 0 || !*more {
+		return
+	}
+	k := via.Load(n + treeKey)
+	if k >= lo {
+		// Left subtree can still hold keys >= lo.
+		t.scan(via, via.Load(n+treeLeft), lo, f, visited, more)
+		if !*more {
+			return
+		}
+		*visited++
+		if !f(k, via.Load(n+treeVal), n) {
+			*more = false
+			return
+		}
+	}
+	t.scan(via, via.Load(n+treeRight), lo, f, visited, more)
+}
+
 // Max returns the largest key.
 func (t Tree) Max(via Mem) (key, val uint64, ok bool) {
 	n := via.Load(t.rootCell)

@@ -201,6 +201,46 @@ func TestTreeInsertGetDelete(t *testing.T) {
 	}
 }
 
+func TestTreeScan(t *testing.T) {
+	d, a := setup(t)
+	tr := NewTree(d, a)
+	for _, k := range []uint64{50, 20, 80, 10, 30, 70, 90, 25, 35} {
+		tr.Insert(d, a, k, k*2)
+	}
+	// Unbounded scan from lo visits exactly the keys >= lo, in order.
+	var got []uint64
+	n := tr.Scan(d, 30, func(k, v, node uint64) bool {
+		if v != k*2 {
+			t.Fatalf("Scan(%d) value %d", k, v)
+		}
+		if node == 0 {
+			t.Fatal("Scan passed a zero node address")
+		}
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{30, 35, 50, 70, 80, 90}
+	if n != len(want) || len(got) != len(want) {
+		t.Fatalf("Scan visited %d pairs (%v), want %v", n, got, want)
+	}
+	for i, k := range want {
+		if got[i] != k {
+			t.Fatalf("Scan order %v, want %v", got, want)
+		}
+	}
+	// Bounded scan stops as soon as f returns false.
+	left := 3
+	got = got[:0]
+	n = tr.Scan(d, 0, func(k, _, _ uint64) bool { got = append(got, k); left--; return left > 0 })
+	if n != 3 || len(got) != 3 || got[0] != 10 || got[2] != 25 {
+		t.Fatalf("bounded Scan visited %v (n=%d), want first three keys", got, n)
+	}
+	// lo above the max key visits nothing.
+	if n := tr.Scan(d, 1000, func(_, _, _ uint64) bool { return true }); n != 0 {
+		t.Fatalf("Scan past max visited %d pairs", n)
+	}
+}
+
 func TestTreeSetUpserts(t *testing.T) {
 	d, a := setup(t)
 	tr := NewTree(d, a)

@@ -87,6 +87,17 @@ type Report struct {
 	Latency            *obs.HistSnapshot `json:"latency,omitempty"`
 	LatencyPercentiles *Percentiles      `json:"latency_percentiles,omitempty"`
 	Attempts           *obs.HistSnapshot `json:"attempts,omitempty"`
+
+	// Open-loop request accounting: Requests counts arrival-tagged
+	// commits, Response is the arrival-to-commit distribution (queueing +
+	// service — what a service SLO is written against; compare with
+	// Latency, which starts at begin and so excludes queueing), QueueWait
+	// the arrival-to-begin share. All zero/absent for closed-loop
+	// workloads.
+	Requests            uint64            `json:"requests,omitempty"`
+	Response            *obs.HistSnapshot `json:"response,omitempty"`
+	ResponsePercentiles *Percentiles      `json:"response_percentiles,omitempty"`
+	QueueWait           *obs.HistSnapshot `json:"queue_wait,omitempty"`
 }
 
 // pathCounts freezes a per-path counter array (declaration order, zeros
@@ -152,6 +163,12 @@ func (r *Recorder) Report() *Report {
 	if r.attempts.Count() > 0 {
 		rep.Attempts = r.attempts.Snapshot()
 	}
+	if r.requests > 0 {
+		rep.Requests = r.requests
+		rep.Response = r.response.Snapshot()
+		rep.ResponsePercentiles = percentiles(rep.Response)
+		rep.QueueWait = r.queueWait.Snapshot()
+	}
 	return rep
 }
 
@@ -209,6 +226,10 @@ func (rep *Report) Add(other *Report) {
 	rep.Latency = mergeHists(rep.Latency, other.Latency)
 	rep.LatencyPercentiles = percentiles(rep.Latency)
 	rep.Attempts = mergeHists(rep.Attempts, other.Attempts)
+	rep.Requests += other.Requests
+	rep.Response = mergeHists(rep.Response, other.Response)
+	rep.ResponsePercentiles = percentiles(rep.Response)
+	rep.QueueWait = mergeHists(rep.QueueWait, other.QueueWait)
 }
 
 // mergePaths sums two frozen path lists, preserving declaration order.

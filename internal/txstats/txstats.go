@@ -33,6 +33,8 @@ import (
 // txState tracks one processor's in-flight transaction.
 type txState struct {
 	active       bool
+	hasArrival   bool   // open-loop request: arrival is valid
+	arrival      uint64 // request arrival cycle (TxLifeArrival)
 	begin        uint64 // cycle of TxBegin
 	attempts     uint64 // attempts so far (including the current one)
 	path         machine.TxPath
@@ -72,9 +74,20 @@ type Recorder struct {
 
 	latency  *obs.Histogram // per committed tx: commit cycle - begin cycle
 	attempts obs.Histogram  // per committed tx: attempts to commit
+
+	// Open-loop request accounting (fed by Proc.TxLifeArrival; zero for
+	// closed-loop workloads, which never tag arrivals).
+	pendingArrival []uint64 // per proc: arrival cycle awaiting the next TxBegin
+	pendingValid   []bool
+	requests       uint64
+	response       *obs.Histogram // per request: commit cycle - arrival cycle
+	queueWait      *obs.Histogram // per request: begin cycle - arrival cycle
 }
 
-var _ machine.TxRecorder = (*Recorder)(nil)
+var (
+	_ machine.TxRecorder        = (*Recorder)(nil)
+	_ machine.TxArrivalRecorder = (*Recorder)(nil)
+)
 
 // New returns an empty recorder for a machine with the given processor
 // count.
@@ -87,6 +100,10 @@ func New(procs int) *Recorder {
 		tx:              make([]txState, procs),
 		aggressorWasted: make([]uint64, procs),
 		latency:         obs.NewWideHistogram(),
+		pendingArrival:  make([]uint64, procs),
+		pendingValid:    make([]bool, procs),
+		response:        obs.NewWideHistogram(),
+		queueWait:       obs.NewWideHistogram(),
 	}
 	for i := range r.tx {
 		r.tx[i].aggressor = -1
@@ -101,6 +118,21 @@ func (r *Recorder) TxBegin(proc int, cycle uint64) {
 	}
 	r.begun++
 	r.tx[proc] = txState{active: true, begin: cycle, attemptStart: cycle, aggressor: -1}
+	if r.pendingValid[proc] {
+		r.tx[proc].hasArrival = true
+		r.tx[proc].arrival = r.pendingArrival[proc]
+		r.pendingValid[proc] = false
+	}
+}
+
+// TxArrival implements machine.TxArrivalRecorder: the next TxBegin on
+// proc services an open-loop request that arrived at the given cycle.
+func (r *Recorder) TxArrival(proc int, cycle uint64) {
+	if proc < 0 || proc >= r.procs {
+		return
+	}
+	r.pendingArrival[proc] = cycle
+	r.pendingValid[proc] = true
 }
 
 // TxAttempt implements machine.TxRecorder.
@@ -185,6 +217,14 @@ func (r *Recorder) TxCommit(proc int, path machine.TxPath, cycle uint64) {
 	r.overheadCycles += lat - useful - t.wasted - t.backoff - t.retryWait
 	r.latency.Observe(lat)
 	r.attempts.Observe(t.attempts)
+	if t.hasArrival {
+		// Open-loop request: response time spans arrival to commit —
+		// queueing delay (arrival to begin, accrued when the proc was
+		// backlogged past the arrival cycle) plus service.
+		r.requests++
+		r.response.Observe(cycle - t.arrival)
+		r.queueWait.Observe(t.begin - t.arrival)
+	}
 	r.tx[proc] = txState{aggressor: -1}
 }
 
@@ -217,4 +257,15 @@ func (r *Recorder) Register(reg *obs.Registry) {
 	as := r.attempts.Snapshot()
 	reg.Histogram("txstats.attempts", "attempts", "attempts needed per committed transaction").
 		Import(as.Count, as.Sum, as.Max, as.Buckets)
+	// Open-loop metrics appear only when the workload tagged arrivals, so
+	// closed-loop runs' metric snapshots are unchanged byte-for-byte.
+	if r.requests > 0 {
+		reg.Counter("txstats.requests", "requests", "open-loop requests serviced (arrival-tagged commits)").Add(r.requests)
+		rs := r.response.Snapshot()
+		reg.WideHistogram("txstats.response", "cycles", "open-loop response time, arrival to commit (queueing + service)").
+			Import(rs.Count, rs.Sum, rs.Max, rs.Buckets)
+		qs := r.queueWait.Snapshot()
+		reg.WideHistogram("txstats.queue_wait", "cycles", "open-loop queueing delay, arrival to transaction begin").
+			Import(qs.Count, qs.Sum, qs.Max, qs.Buckets)
+	}
 }
